@@ -1,0 +1,59 @@
+// asm assembles MIPS-subset source (including the paper's set/update RMW
+// instructions) and prints the image as hex words with disassembly, or
+// disassembles a list of hex words with -d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble hex words from the command line")
+	flag.Parse()
+
+	if *dis {
+		for _, a := range flag.Args() {
+			w, err := strconv.ParseUint(strings.TrimPrefix(a, "0x"), 16, 32)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			in, err := isa.Decode(uint32(w))
+			if err != nil {
+				fmt.Printf("%08x  <%v>\n", w, err)
+				continue
+			}
+			fmt.Printf("%08x  %s\n", w, in.Disassemble(0))
+		}
+		return
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if flag.NArg() != 1 || err != nil {
+		fmt.Fprintln(os.Stderr, "usage: asm <file.s> | asm -d <hexword>...")
+		if err != nil && flag.NArg() == 1 {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, w := range p.Words {
+		addr := p.Base + uint32(4*i)
+		text := ".word"
+		if in, err := isa.Decode(w); err == nil {
+			text = in.Disassemble(addr)
+		}
+		fmt.Printf("%08x:  %08x  %s\n", addr, w, text)
+	}
+}

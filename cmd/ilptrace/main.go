@@ -1,0 +1,45 @@
+// ilptrace runs the instruction-level-parallelism limit analysis of the
+// paper's Table 2 over a dynamic trace of NIC firmware: the ordering kernels
+// executed on the ISA interpreter plus the calibrated synthetic firmware
+// body.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/ilp"
+	"repro/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 200000, "synthetic firmware instructions to analyze")
+	kernelOnly := flag.Bool("kernels", false, "analyze only the real ordering-kernel trace")
+	one := flag.String("config", "", "analyze a single configuration, e.g. 'IO-1 NoBP stalls'")
+	flag.Parse()
+
+	var tr []trace.Inst
+	if *kernelOnly {
+		tr = experiments.Table2Trace(0)
+	} else {
+		tr = experiments.Table2Trace(*n)
+	}
+	if *one != "" {
+		for _, row := range ilp.Table2Rows {
+			for _, col := range ilp.Table2Columns {
+				cfg := ilp.Config{Order: row.Order, Width: row.Width, BP: col.BP, Pipe: col.Pipe}
+				if cfg.String() == *one {
+					r := ilp.Analyze(tr, cfg)
+					fmt.Printf("%v: IPC %.3f over %d instructions in %d cycles\n",
+						cfg, r.IPC(), r.Instructions, r.Cycles)
+					return
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unknown configuration %q\n", *one)
+		os.Exit(2)
+	}
+	experiments.PrintTable2(os.Stdout, tr)
+}

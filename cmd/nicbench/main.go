@@ -1,0 +1,101 @@
+// nicbench regenerates the paper's tables and figures from the simulator.
+//
+// Usage:
+//
+//	nicbench -all            # everything (slow: full Figure 7/8 sweeps)
+//	nicbench -table 5        # one table (1-6)
+//	nicbench -figure 7       # one figure (3, 7, 8)
+//	nicbench -ablation ab    # design-choice ablations
+//	nicbench -quick ...      # shorter simulation windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-6)")
+	figure := flag.Int("figure", 0, "regenerate one figure (3, 7, 8)")
+	ablation := flag.String("ablation", "", "ablations to run: any of 'a', 'b' (e.g. 'ab')")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "shorter simulation windows")
+	flag.Parse()
+
+	b := experiments.Full
+	if *quick {
+		b = experiments.Quick
+	}
+	w := os.Stdout
+	ran := false
+
+	if *all || *table == 1 {
+		experiments.PrintTable1(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *table == 2 {
+		experiments.PrintTable2(w, experiments.Table2Trace(200000))
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *figure == 3 {
+		experiments.PrintFigure3(w, experiments.Figure3(b, 500000))
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *figure == 7 {
+		experiments.PrintFigure7(w, experiments.Figure7(b, experiments.PaperFig7Cores, experiments.PaperFig7MHz))
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *table == 3 || *table == 4 {
+		r := experiments.Run(core.DefaultConfig(), 1472, b)
+		if *all || *table == 3 {
+			experiments.PrintTable3(w, r)
+			fmt.Fprintln(w)
+		}
+		if *all || *table == 4 {
+			experiments.PrintTable4(w, r)
+			fmt.Fprintln(w)
+		}
+		ran = true
+	}
+	if *all || *table == 5 || *table == 6 {
+		c := experiments.CompareOrdering(b)
+		if *all || *table == 5 {
+			experiments.PrintTable5(w, c)
+			fmt.Fprintln(w)
+		}
+		if *all || *table == 6 {
+			experiments.PrintTable6(w, c)
+			fmt.Fprintln(w)
+		}
+		ran = true
+	}
+	if *all || *figure == 8 {
+		experiments.PrintFigure8(w, experiments.Figure8(b, experiments.PaperFig8Sizes))
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || strings.Contains(*ablation, "a") {
+		experiments.PrintAblationBanks(w, experiments.AblationBanks(b, []int{1, 2, 4, 8}))
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || strings.Contains(*ablation, "b") {
+		fp, tp := experiments.AblationTaskParallel(b, []int{1, 2, 4, 6}, 150)
+		experiments.PrintAblationTaskParallel(w, fp, tp)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

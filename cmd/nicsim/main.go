@@ -1,0 +1,44 @@
+// nicsim runs one NIC configuration and prints its report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/firmware"
+	"repro/internal/sim"
+)
+
+func main() {
+	cores := flag.Int("cores", 6, "number of processing cores")
+	mhz := flag.Float64("mhz", 200, "core and scratchpad frequency in MHz")
+	banks := flag.Int("banks", 4, "scratchpad banks")
+	udp := flag.Int("udp", 1472, "UDP datagram size in bytes")
+	rmw := flag.Bool("rmw", false, "use the RMW-enhanced (set/update) firmware")
+	taskpar := flag.Bool("taskparallel", false, "use the task-parallel (event register) baseline firmware")
+	warmup := flag.Float64("warmup", 200, "warmup time in microseconds")
+	measure := flag.Float64("measure", 500, "measurement time in microseconds")
+	payload := flag.Bool("payload", false, "carry and verify real frame bytes")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Cores = *cores
+	cfg.CPUMHz = *mhz
+	cfg.ScratchpadBanks = *banks
+	if *rmw {
+		cfg.Ordering = firmware.RMWEnhanced
+	}
+	if *taskpar {
+		cfg.Parallelism = firmware.TaskParallel
+	}
+	n := core.New(cfg)
+	n.AttachWorkload(*udp, *payload)
+	rep := n.Run(sim.Picoseconds(*warmup)*sim.Microsecond, sim.Picoseconds(*measure)*sim.Microsecond)
+	fmt.Print(rep.String())
+	if rep.TxOutOfOrder+rep.RxOutOfOrder > 0 {
+		fmt.Fprintln(os.Stderr, "ERROR: ordering violated")
+		os.Exit(1)
+	}
+}

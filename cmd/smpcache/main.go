@@ -1,0 +1,87 @@
+// smpcache is a standalone trace-driven MESI cache coherence simulator, the
+// reproduction's equivalent of the tool the paper used for its Figure 3
+// study.
+//
+// With -capture it generates its own trace by running the NIC simulation and
+// filtering to frame metadata; otherwise it reads a trace from stdin or a
+// file, one reference per line: "<proc> <hex-addr> r|w".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/smpcache"
+	"repro/internal/trace"
+)
+
+func main() {
+	capture := flag.Bool("capture", false, "capture a trace from the NIC simulation instead of reading one")
+	caches := flag.Int("caches", 8, "number of per-processor caches")
+	line := flag.Int("line", 16, "line size in bytes")
+	size := flag.Int("size", 0, "single cache size in bytes (0 = paper sweep 16 B..32 KB)")
+	file := flag.String("trace", "-", "trace file ('-' for stdin)")
+	flag.Parse()
+
+	if *capture {
+		pts := experiments.Figure3(experiments.Quick, 500000)
+		experiments.PrintFigure3(os.Stdout, pts)
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	refs, err := readTrace(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sizes := smpcache.PaperSizes()
+	if *size > 0 {
+		sizes = []int{*size}
+	}
+	for _, p := range smpcache.Sweep(refs, *caches, *line, sizes) {
+		fmt.Printf("%7d B: hit %.3f, invalidating writes %.4f, writebacks %d\n",
+			p.CacheBytes, p.HitRatio, p.InvalRate, p.Writebacks)
+	}
+}
+
+func readTrace(r io.Reader) ([]trace.MemRef, error) {
+	var refs []trace.MemRef
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want '<proc> <hex-addr> r|w'", ln)
+		}
+		proc, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad processor: %v", ln, err)
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad address: %v", ln, err)
+		}
+		refs = append(refs, trace.MemRef{Proc: proc, Addr: uint32(addr), Write: fields[2] == "w"})
+	}
+	return refs, sc.Err()
+}

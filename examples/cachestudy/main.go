@@ -1,0 +1,25 @@
+// Cachestudy reproduces the paper's Figure 3 experiment end to end: run the
+// six-core controller at line rate, capture every processor's and assist's
+// scratchpad references, filter them to frame metadata, and drive the
+// trace-driven MESI coherence simulator across cache sizes from 16 bytes to
+// 32 KB. The hit ratio plateaus far below 100% — frame metadata migrates
+// from core to core and is mostly touched once — which is why the design
+// uses a banked scratchpad instead of coherent caches.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	pts := experiments.Figure3(experiments.Quick, 500000)
+	experiments.PrintFigure3(os.Stdout, pts)
+
+	best := pts[len(pts)-1]
+	fmt.Printf("\neven %d KB per-core caches hit only %.0f%% of the time;\n",
+		best.CacheBytes/1024, 100*best.HitRatio)
+	fmt.Println("a 2-cycle banked scratchpad serves every access predictably instead")
+}

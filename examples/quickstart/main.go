@@ -1,0 +1,26 @@
+// Quickstart: build the paper's RMW-enhanced controller (six 166 MHz cores,
+// four scratchpad banks, 500 MHz GDDR SDRAM), attach a full-duplex stream of
+// maximum-sized UDP datagrams carrying real verified payloads, and run one
+// simulated millisecond.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	nic := core.New(core.RMWConfig())
+	nic.AttachWorkload(1472, true) // real frame bytes, checksum-verified
+
+	report := nic.Run(500*sim.Microsecond, 500*sim.Microsecond)
+
+	fmt.Print(report.String())
+	fmt.Printf("\nframes delivered to host: %d (corrupt %d, out of order %d)\n",
+		nic.Host.RecvDelivered.Value(), report.RxCorrupt, report.RxOutOfOrder)
+	if report.LineFraction > 0.97 {
+		fmt.Println("the controller saturates full-duplex 10 Gb/s Ethernet at 166 MHz")
+	}
+}

@@ -1,0 +1,30 @@
+// Scaling reproduces the shape of the paper's Figure 7 on a reduced grid:
+// full-duplex throughput of maximum-sized frames as the number of cores and
+// the core frequency vary. More, slower cores beat fewer, faster ones at
+// equal aggregate frequency once the firmware's parallelism is exploitable.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	pts := experiments.Figure7(experiments.Quick,
+		[]int{1, 2, 4, 6, 8},
+		[]float64{100, 150, 200, 400, 800})
+	experiments.PrintFigure7(os.Stdout, pts)
+
+	fmt.Println("\nnote the paper's headline points:")
+	for _, p := range pts {
+		if (p.Cores == 6 || p.Cores == 8) && p.MHz == 200 {
+			fmt.Printf("  %d cores @ 200 MHz reach %.1f%% of the duplex Ethernet limit\n",
+				p.Cores, 100*p.Fraction)
+		}
+		if p.Cores == 1 && p.MHz == 800 {
+			fmt.Printf("  a single core needs ~800 MHz for the same job (%.1f%%)\n", 100*p.Fraction)
+		}
+	}
+}

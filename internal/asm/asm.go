@@ -1,0 +1,549 @@
+// Package asm implements a two-pass assembler for the MIPS-subset ISA in
+// package isa. It exists so the firmware kernels whose costs drive the
+// paper's Table 5 comparison (lock-based ordering vs the set/update RMW
+// instructions) are real, executable code rather than hand-estimated
+// constants.
+//
+// Syntax is conventional MIPS assembler:
+//
+//	        .org  0x0
+//	start:  li    $t0, 1
+//	spin:   ll    $t1, 0($a0)        # comment
+//	        bnez  $t1, spin
+//	        nop
+//	        sc    $t0, 0($a0)
+//	        beqz  $t0, start
+//	        nop
+//	        break
+//
+// Directives: .org, .word, .space. Pseudo-instructions: nop, move, li, la,
+// b, beqz, bnez, not. li and la always expand to two instructions so label
+// arithmetic stays trivial.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// A Program is an assembled image.
+type Program struct {
+	Base    uint32
+	Words   []uint32
+	Symbols map[string]uint32
+}
+
+// Assemble assembles the given source. Errors identify the 1-based source
+// line.
+func Assemble(src string) (*Program, error) {
+	lines := strings.Split(src, "\n")
+	p := &Program{Symbols: map[string]uint32{}}
+
+	type item struct {
+		line   int
+		label  string
+		mnem   string
+		args   []string
+		addr   uint32
+		nwords int
+	}
+	var items []item
+
+	// Pass 1: tokenize, assign addresses, collect labels.
+	addr := uint32(0)
+	orgSet := false
+	for ln, raw := range lines {
+		text := stripComment(raw)
+		label, mnem, args, err := splitLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if label != "" {
+			if _, dup := p.Symbols[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, label)
+			}
+			p.Symbols[label] = addr
+		}
+		if mnem == "" {
+			continue
+		}
+		it := item{line: ln + 1, label: label, mnem: mnem, args: args, addr: addr}
+		switch mnem {
+		case ".org":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: .org takes one operand", ln+1)
+			}
+			v, err := parseImm(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			if orgSet || len(items) > 0 {
+				return nil, fmt.Errorf("line %d: .org must precede code", ln+1)
+			}
+			addr = uint32(v)
+			p.Base = addr
+			orgSet = true
+			if label != "" {
+				p.Symbols[label] = addr
+			}
+			continue
+		case ".word":
+			it.nwords = len(args)
+		case ".space":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: .space takes one operand", ln+1)
+			}
+			v, err := parseImm(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			if v%4 != 0 || v < 0 {
+				return nil, fmt.Errorf("line %d: .space must be a non-negative multiple of 4", ln+1)
+			}
+			it.nwords = int(v) / 4
+		case "li", "la":
+			it.nwords = 2
+		default:
+			it.nwords = 1
+		}
+		items = append(items, it)
+		addr += uint32(it.nwords) * 4
+	}
+
+	// Pass 2: encode.
+	for _, it := range items {
+		switch it.mnem {
+		case ".word":
+			for _, a := range it.args {
+				v, err := parseImmOrLabel(a, p.Symbols)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", it.line, err)
+				}
+				p.Words = append(p.Words, uint32(v))
+			}
+		case ".space":
+			for i := 0; i < it.nwords; i++ {
+				p.Words = append(p.Words, 0)
+			}
+		default:
+			insts, err := expand(it.mnem, it.args, it.addr, p.Symbols)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", it.line, err)
+			}
+			if len(insts) != it.nwords {
+				return nil, fmt.Errorf("line %d: internal size mismatch", it.line)
+			}
+			for _, in := range insts {
+				w, err := in.Encode()
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", it.line, err)
+				}
+				p.Words = append(p.Words, w)
+			}
+		}
+	}
+	return p, nil
+}
+
+// MustAssemble assembles or panics; for compiled-in firmware kernels.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{"#", "//", ";"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+func splitLine(s string) (label, mnem string, args []string, err error) {
+	if i := strings.Index(s, ":"); i >= 0 {
+		label = strings.TrimSpace(s[:i])
+		if label == "" || strings.ContainsAny(label, " \t") {
+			return "", "", nil, fmt.Errorf("malformed label %q", s[:i])
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return label, "", nil, nil
+	}
+	fields := strings.Fields(s)
+	mnem = strings.ToLower(fields[0])
+	rest := strings.TrimSpace(s[len(fields[0]):])
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	return label, mnem, args, nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func parseImmOrLabel(s string, syms map[string]uint32) (int64, error) {
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if a, ok := syms[s]; ok {
+		return int64(a), nil
+	}
+	return 0, fmt.Errorf("bad immediate or unknown label %q", s)
+}
+
+func reg(s string) (int, error) {
+	r, ok := isa.RegByName(s)
+	if !ok {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// memOperand parses "imm(reg)" or "(reg)".
+func memOperand(s string, syms map[string]uint32) (imm int32, base int, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr != "" {
+		v, err := parseImmOrLabel(offStr, syms)
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = int32(v)
+	}
+	base, err = reg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	return imm, base, err
+}
+
+func branchImm(target string, pc uint32, syms map[string]uint32) (int32, error) {
+	v, err := parseImmOrLabel(target, syms)
+	if err != nil {
+		return 0, err
+	}
+	diff := int64(v) - int64(pc) - 4
+	if diff%4 != 0 {
+		return 0, fmt.Errorf("branch target %q not word aligned", target)
+	}
+	off := diff / 4
+	if off < -32768 || off > 32767 {
+		return 0, fmt.Errorf("branch target %q out of range", target)
+	}
+	return int32(off), nil
+}
+
+// expand turns one assembler statement (real or pseudo) into instructions.
+func expand(mnem string, args []string, pc uint32, syms map[string]uint32) ([]isa.Inst, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+	r3 := func(op isa.Op) ([]isa.Inst, error) {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		rt, err3 := reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rs: rs, Rt: rt}}, nil
+	}
+	i3 := func(op isa.Op) ([]isa.Inst, error) {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		v, err := parseImmOrLabel(args[2], syms)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rt: rt, Rs: rs, Imm: int32(v)}}, nil
+	}
+	memOp := func(op isa.Op) ([]isa.Inst, error) {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, base, err := memOperand(args[1], syms)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rt: rt, Rs: base, Imm: imm}}, nil
+	}
+	shift := func(op isa.Op) ([]isa.Inst, error) {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rt, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		v, err := parseImm(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rt: rt, Shamt: int(v)}}, nil
+	}
+
+	switch mnem {
+	case "addu", "subu", "and", "or", "xor", "nor", "slt", "sltu":
+		return r3(map[string]isa.Op{"addu": isa.ADDU, "subu": isa.SUBU,
+			"and": isa.AND, "or": isa.OR, "xor": isa.XOR, "nor": isa.NOR,
+			"slt": isa.SLT, "sltu": isa.SLTU}[mnem])
+	case "sllv", "srlv", "srav":
+		// rd, rt, rs operand order.
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rt, err2 := reg(args[1])
+		rs, err3 := reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		op := map[string]isa.Op{"sllv": isa.SLLV, "srlv": isa.SRLV, "srav": isa.SRAV}[mnem]
+		return []isa.Inst{{Op: op, Rd: rd, Rt: rt, Rs: rs}}, nil
+	case "sll", "srl", "sra":
+		return shift(map[string]isa.Op{"sll": isa.SLL, "srl": isa.SRL, "sra": isa.SRA}[mnem])
+	case "addiu", "slti", "sltiu", "andi", "ori", "xori":
+		return i3(map[string]isa.Op{"addiu": isa.ADDIU, "slti": isa.SLTI,
+			"sltiu": isa.SLTIU, "andi": isa.ANDI, "ori": isa.ORI, "xori": isa.XORI}[mnem])
+	case "lui":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.LUI, Rt: rt, Imm: int32(v)}}, nil
+	case "lw", "sw", "lb", "lbu", "lh", "lhu", "sb", "sh", "ll", "sc":
+		return memOp(map[string]isa.Op{"lw": isa.LW, "sw": isa.SW,
+			"lb": isa.LB, "lbu": isa.LBU, "lh": isa.LH, "lhu": isa.LHU,
+			"sb": isa.SB, "sh": isa.SH, "ll": isa.LL, "sc": isa.SC}[mnem])
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err1 := reg(args[0])
+		rt, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		imm, err := branchImm(args[2], pc, syms)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.BEQ
+		if mnem == "bne" {
+			op = isa.BNE
+		}
+		return []isa.Inst{{Op: op, Rs: rs, Rt: rt, Imm: imm}}, nil
+	case "blez", "bgtz", "bltz", "bgez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := branchImm(args[1], pc, syms)
+		if err != nil {
+			return nil, err
+		}
+		op := map[string]isa.Op{"blez": isa.BLEZ, "bgtz": isa.BGTZ,
+			"bltz": isa.BLTZ, "bgez": isa.BGEZ}[mnem]
+		return []isa.Inst{{Op: op, Rs: rs, Imm: imm}}, nil
+	case "mult", "multu", "div", "divu":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err1 := reg(args[0])
+		rt, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		op := map[string]isa.Op{"mult": isa.MULT, "multu": isa.MULTU,
+			"div": isa.DIV, "divu": isa.DIVU}[mnem]
+		return []isa.Inst{{Op: op, Rs: rs, Rt: rt}}, nil
+	case "mfhi", "mflo":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.MFHI
+		if mnem == "mflo" {
+			op = isa.MFLO
+		}
+		return []isa.Inst{{Op: op, Rd: rd}}, nil
+	case "j", "jal":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := parseImmOrLabel(args[0], syms)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.J
+		if mnem == "jal" {
+			op = isa.JAL
+		}
+		return []isa.Inst{{Op: op, Target: uint32(v) >> 2}}, nil
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.JR, Rs: rs}}, nil
+	case "jalr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.JALR, Rd: rd, Rs: rs}}, nil
+	case "break":
+		return []isa.Inst{{Op: isa.BREAK}}, nil
+	case "setb":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err1 := reg(args[0])
+		rt, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.SETB, Rs: rs, Rt: rt}}, nil
+	case "upd":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.UPD, Rd: rd, Rs: rs}}, nil
+
+	// Pseudo-instructions.
+	case "nop":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.SLL}}, nil
+	case "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.ADDU, Rd: rd, Rs: rs}}, nil
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.NOR, Rd: rd, Rs: rs, Rt: 0}}, nil
+	case "li", "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImmOrLabel(args[1], syms)
+		if err != nil {
+			return nil, err
+		}
+		u := uint32(v)
+		return []isa.Inst{
+			{Op: isa.LUI, Rt: rt, Imm: int32(u >> 16)},
+			{Op: isa.ORI, Rt: rt, Rs: rt, Imm: int32(u & 0xffff)},
+		}, nil
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		imm, err := branchImm(args[0], pc, syms)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.BEQ, Imm: imm}}, nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := branchImm(args[1], pc, syms)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.BEQ
+		if mnem == "bnez" {
+			op = isa.BNE
+		}
+		return []isa.Inst{{Op: op, Rs: rs, Rt: 0, Imm: imm}}, nil
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func decode(t *testing.T, w uint32) isa.Inst {
+	t.Helper()
+	in, err := isa.Decode(w)
+	if err != nil {
+		t.Fatalf("Decode(%#08x): %v", w, err)
+	}
+	return in
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p, err := Assemble(`
+        .org 0x100
+start:  addiu $t0, $zero, 5    # counter
+loop:   addiu $t0, $t0, -1
+        bnez  $t0, loop
+        nop
+        break
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0x100 {
+		t.Errorf("Base = %#x", p.Base)
+	}
+	if len(p.Words) != 5 {
+		t.Fatalf("words = %d, want 5", len(p.Words))
+	}
+	if p.Symbols["start"] != 0x100 || p.Symbols["loop"] != 0x104 {
+		t.Errorf("symbols = %v", p.Symbols)
+	}
+	// bnez expands to bne $t0, $zero, loop at 0x108; offset to 0x104 is -2.
+	in := decode(t, p.Words[2])
+	if in.Op != isa.BNE || in.Rs != 8 || in.Rt != 0 || in.Imm != -2 {
+		t.Errorf("bnez encoded as %+v", in)
+	}
+	if in := decode(t, p.Words[4]); in.Op != isa.BREAK {
+		t.Errorf("last word = %+v, want break", in)
+	}
+}
+
+func TestAssembleLiExpandsToTwoWords(t *testing.T) {
+	p, err := Assemble("li $t0, 0x12345678\nbreak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 3 {
+		t.Fatalf("words = %d, want 3", len(p.Words))
+	}
+	lui := decode(t, p.Words[0])
+	ori := decode(t, p.Words[1])
+	if lui.Op != isa.LUI || uint16(lui.Imm) != 0x1234 {
+		t.Errorf("lui = %+v", lui)
+	}
+	if ori.Op != isa.ORI || uint16(ori.Imm) != 0x5678 || ori.Rs != 8 || ori.Rt != 8 {
+		t.Errorf("ori = %+v", ori)
+	}
+}
+
+func TestAssembleLaResolvesForwardLabel(t *testing.T) {
+	p, err := Assemble(`
+        la   $a0, data
+        break
+data:   .word 42, 43
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["data"] != 12 {
+		t.Errorf("data at %#x, want 0xc", p.Symbols["data"])
+	}
+	if p.Words[3] != 42 || p.Words[4] != 43 {
+		t.Errorf(".word data = %v", p.Words[3:])
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	p, err := Assemble("lw $t1, 8($sp)\nsw $t1, ($a0)\nbreak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := decode(t, p.Words[0])
+	if lw.Op != isa.LW || lw.Rt != 9 || lw.Rs != 29 || lw.Imm != 8 {
+		t.Errorf("lw = %+v", lw)
+	}
+	sw := decode(t, p.Words[1])
+	if sw.Op != isa.SW || sw.Imm != 0 || sw.Rs != 4 {
+		t.Errorf("sw = %+v", sw)
+	}
+}
+
+func TestAssembleRMWInstructions(t *testing.T) {
+	p, err := Assemble("setb $a0, $t0\nupd $v0, $a0\nbreak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setb := decode(t, p.Words[0])
+	if setb.Op != isa.SETB || setb.Rs != 4 || setb.Rt != 8 {
+		t.Errorf("setb = %+v", setb)
+	}
+	upd := decode(t, p.Words[1])
+	if upd.Op != isa.UPD || upd.Rd != 2 || upd.Rs != 4 {
+		t.Errorf("upd = %+v", upd)
+	}
+}
+
+func TestAssembleSpaceDirective(t *testing.T) {
+	p, err := Assemble(`
+buf:    .space 16
+code:   break
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["code"] != 16 {
+		t.Errorf("code at %#x, want 0x10", p.Symbols["code"])
+	}
+	if len(p.Words) != 5 {
+		t.Errorf("words = %d, want 5", len(p.Words))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"bogus $t0", "unknown mnemonic"},
+		{"addu $t0, $t1", "takes 3 operands"},
+		{"lw $t0, 4[$sp]", "bad memory operand"},
+		{"beq $t0, $t1, nowhere", "unknown label"},
+		{"addu $t0, $t1, $zz", "bad register"},
+		{"x: break\nx: break", "duplicate label"},
+		{".space 3", "multiple of 4"},
+		{"break\n.org 0x100", ".org must precede code"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q) error = %v, want containing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestAssembleCommentStyles(t *testing.T) {
+	p, err := Assemble("break # hash\nbreak // slashes\nbreak ; semicolon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 3 {
+		t.Errorf("words = %d, want 3", len(p.Words))
+	}
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestAssembleBranchOutOfRange(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("top: nop\n")
+	for i := 0; i < 40000; i++ {
+		b.WriteString("nop\n")
+	}
+	b.WriteString("b top\n")
+	if _, err := Assemble(b.String()); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("long branch error = %v", err)
+	}
+}
+
+func TestAssembleExtendedMnemonics(t *testing.T) {
+	p, err := Assemble(`
+        lb    $t0, 1($a0)
+        lbu   $t1, 2($a0)
+        lh    $t2, 4($a0)
+        lhu   $t3, 6($a0)
+        sb    $t0, 8($a0)
+        sh    $t2, 10($a0)
+        mult  $t0, $t1
+        multu $t0, $t1
+        div   $t0, $t1
+        divu  $t0, $t1
+        mfhi  $s0
+        mflo  $s1
+top:    bltz  $t0, top
+        nop
+        bgez  $t0, top
+        nop
+        break
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []isa.Op{
+		isa.LB, isa.LBU, isa.LH, isa.LHU, isa.SB, isa.SH,
+		isa.MULT, isa.MULTU, isa.DIV, isa.DIVU, isa.MFHI, isa.MFLO,
+		isa.BLTZ, isa.SLL, isa.BGEZ, isa.SLL, isa.BREAK,
+	}
+	if len(p.Words) != len(wantOps) {
+		t.Fatalf("words = %d, want %d", len(p.Words), len(wantOps))
+	}
+	for i, w := range p.Words {
+		in := decode(t, w)
+		if in.Op != wantOps[i] {
+			t.Errorf("word %d op = %v, want %v", i, in.Op, wantOps[i])
+		}
+	}
+	// bltz at "top" branches to itself: offset -1.
+	if in := decode(t, p.Words[12]); in.Imm != -1 {
+		t.Errorf("bltz offset = %d, want -1", in.Imm)
+	}
+}

@@ -1,0 +1,139 @@
+// Package assist models the NIC's four streaming hardware assist units: the
+// DMA read and DMA write engines that move data across the host interconnect,
+// and the MAC transmit and receive engines that move data on and off the
+// Ethernet.
+//
+// The assists are solely responsible for frame-data transfers (which flow
+// through the external SDRAM) but also touch control data: they read and
+// update descriptors and progress pointers in the scratchpad, contending with
+// the processors through the crossbar. Each assist buffers up to two
+// maximum-sized frames so that SDRAM bursts overlap host or wire activity.
+package assist
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Host abstracts the host interconnect: Delay schedules f after one host
+// round-trip (descriptor or data DMA latency). The host model implements it.
+type Host interface {
+	Delay(f func())
+}
+
+// ScratchPort adapts an assist to its crossbar port: a small FIFO of control
+// accesses pumped one at a time. Register Tick in the CPU domain before the
+// crossbar.
+type ScratchPort struct {
+	sp   *mem.Scratchpad
+	xbar *mem.Crossbar
+	port int
+	proc int // trace attribution id
+
+	queue []spOp
+	busy  bool
+
+	// TraceMem observes completed accesses for coherence traces.
+	TraceMem func(trace.MemRef)
+	Accesses stats.Counter
+}
+
+type spOp struct {
+	addr   uint32
+	write  bool
+	onDone func()
+}
+
+// NewScratchPort creates a port adapter. proc is the processor id used in
+// captured memory traces.
+func NewScratchPort(sp *mem.Scratchpad, xbar *mem.Crossbar, port, proc int) *ScratchPort {
+	return &ScratchPort{sp: sp, xbar: xbar, port: port, proc: proc}
+}
+
+// Read enqueues a scratchpad read; onDone (may be nil) runs at completion.
+func (p *ScratchPort) Read(addr uint32, onDone func()) {
+	p.queue = append(p.queue, spOp{addr: addr, onDone: onDone})
+}
+
+// Write enqueues a scratchpad write.
+func (p *ScratchPort) Write(addr uint32, onDone func()) {
+	p.queue = append(p.queue, spOp{addr: addr, write: true, onDone: onDone})
+}
+
+// Pending returns the number of queued (unissued) accesses.
+func (p *ScratchPort) Pending() int { return len(p.queue) }
+
+// Tick issues at most one access per CPU cycle.
+func (p *ScratchPort) Tick(cycle uint64) {
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	op := p.queue[0]
+	p.queue = p.queue[1:]
+	p.busy = true
+	p.xbar.Submit(p.port, p.sp.Bank(op.addr), op.write, func(uint64) {
+		if op.write {
+			p.sp.CountWrite(op.addr)
+		} else {
+			p.sp.CountRead(op.addr)
+		}
+		p.Accesses.Inc()
+		if p.TraceMem != nil {
+			p.TraceMem(trace.MemRef{Proc: p.proc, Addr: op.addr, Write: op.write})
+		}
+		p.busy = false
+		if op.onDone != nil {
+			op.onDone()
+		}
+	})
+}
+
+// job is one unit of assist work, a sequence of phases executed by the
+// engine pipeline.
+type job struct {
+	run func(done func())
+	// onDone fires when the job completes.
+	onDone func()
+}
+
+// engine is a common in-order job pipeline with bounded overlap.
+type engine struct {
+	name     string
+	depth    int
+	queue    []job
+	inFlight int
+	// completion ordering: jobs finish the pipeline in start order.
+	Completed stats.Counter
+}
+
+func newEngine(name string, depth int) *engine {
+	if depth <= 0 {
+		panic(fmt.Sprintf("assist: %s: non-positive pipeline depth", name))
+	}
+	return &engine{name: name, depth: depth}
+}
+
+// enqueue adds a job.
+func (e *engine) enqueue(j job) { e.queue = append(e.queue, j) }
+
+// QueueLen returns queued plus in-flight jobs.
+func (e *engine) QueueLen() int { return len(e.queue) + e.inFlight }
+
+// tick starts jobs while pipeline slots are free.
+func (e *engine) tick() {
+	for e.inFlight < e.depth && len(e.queue) > 0 {
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.inFlight++
+		j.run(func() {
+			e.inFlight--
+			e.Completed.Inc()
+			if j.onDone != nil {
+				j.onDone()
+			}
+		})
+	}
+}

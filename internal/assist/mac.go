@@ -1,0 +1,217 @@
+package assist
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// BytesPerMACCycle is the wire datapath width: the MAC domain runs at
+// 156.25 MHz moving 8 bytes per cycle, exactly 10 Gb/s.
+const BytesPerMACCycle = 8
+
+// MACHz is the MAC clock domain frequency.
+const MACHz = ethernet.LinkBitsPerSec / 8 / BytesPerMACCycle
+
+// wireOverhead is the preamble plus interframe gap charged to every frame.
+const wireOverhead = ethernet.PreambleBytes + ethernet.InterframeGapBytes
+
+// MACTx is the transmit half of the MAC unit: it fetches committed frames
+// from the SDRAM transmit buffer into a two-frame staging buffer and clocks
+// them onto the wire.
+//
+// Register TickCPU in the CPU domain (it pumps the scratchpad port) and
+// TickMAC in the MAC domain (wire pacing).
+type MACTx struct {
+	Port      *ScratchPort
+	sdram     *mem.SDRAM
+	sdramPort int
+
+	ProgressAddr uint32
+	Progress     stats.Counter
+
+	// OnTransmit fires when a frame's last byte leaves the wire.
+	OnTransmit func(handle any)
+
+	queue    []txFrame // committed, not yet fetched
+	staged   []txFrame // fetched into the MAC buffer (max 2)
+	fetching bool
+
+	wireRemain int     // bytes left of the frame currently on the wire
+	cur        txFrame // the frame currently on the wire
+
+	TxFrames stats.Counter
+	TxBytes  stats.Counter // wire payload bytes (frame incl. CRC)
+	WireBusy stats.Utilization
+}
+
+type txFrame struct {
+	bufAddr uint32
+	size    int // frame size incl. CRC
+	handle  any
+}
+
+// NewMACTx creates the transmit engine.
+func NewMACTx(port *ScratchPort, sdram *mem.SDRAM, sdramPort int, progressAddr uint32) *MACTx {
+	return &MACTx{Port: port, sdram: sdram, sdramPort: sdramPort, ProgressAddr: progressAddr}
+}
+
+// Send queues one committed frame for transmission.
+func (m *MACTx) Send(bufAddr uint32, size int, handle any) {
+	m.queue = append(m.queue, txFrame{bufAddr: bufAddr, size: size, handle: handle})
+}
+
+// Backlog reports frames committed but not yet fully transmitted.
+func (m *MACTx) Backlog() int {
+	n := len(m.queue) + len(m.staged)
+	if m.wireRemain > 0 {
+		n++
+	}
+	return n
+}
+
+// TickCPU starts SDRAM fetches (double buffered) and pumps the port.
+func (m *MACTx) TickCPU(cycle uint64) {
+	if !m.fetching && len(m.queue) > 0 && len(m.staged) < 2 {
+		f := m.queue[0]
+		m.queue = m.queue[1:]
+		m.fetching = true
+		m.sdram.Enqueue(m.sdramPort, mem.Transfer{
+			Addr: f.bufAddr, Len: f.size,
+			OnDone: func() {
+				m.staged = append(m.staged, f)
+				m.fetching = false
+			},
+		})
+	}
+	m.Port.Tick(cycle)
+}
+
+// Tick adapts MACTx to sim.Ticker in the CPU domain.
+func (m *MACTx) Tick(cycle uint64) { m.TickCPU(cycle) }
+
+// TickMAC advances the wire by BytesPerMACCycle.
+func (m *MACTx) TickMAC(cycle uint64) {
+	m.WireBusy.Total.Inc()
+	if m.wireRemain == 0 {
+		if len(m.staged) == 0 {
+			return
+		}
+		f := m.staged[0]
+		m.staged = m.staged[1:]
+		m.wireRemain = f.size + wireOverhead
+		m.cur = f
+	}
+	m.WireBusy.Busy.Inc()
+	m.wireRemain -= BytesPerMACCycle
+	if m.wireRemain <= 0 {
+		m.wireRemain = 0
+		f := m.cur
+		m.TxFrames.Inc()
+		m.TxBytes.Add(uint64(f.size))
+		m.Port.Write(m.ProgressAddr, func() { m.Progress.Inc() })
+		if m.OnTransmit != nil {
+			m.OnTransmit(f.handle)
+		}
+	}
+}
+
+// NetworkSource supplies the receive workload: Next returns the next frame
+// on the wire when the link is ready for one, or ok=false when the source is
+// idle this instant.
+type NetworkSource interface {
+	Next() (size int, handle any, ok bool)
+}
+
+// MACRx is the receive half: frames arrive paced by the wire, land in a
+// two-frame staging buffer, and are written to the SDRAM receive buffer at
+// an address chosen by the allocation callback. When the receive buffer has
+// no space the frame is dropped, as on the real controller.
+type MACRx struct {
+	Port      *ScratchPort
+	sdram     *mem.SDRAM
+	sdramPort int
+
+	ProgressAddr uint32
+	Progress     stats.Counter
+
+	// Source provides arriving frames.
+	Source NetworkSource
+	// Alloc chooses the SDRAM address for an arriving frame; ok=false drops
+	// it (receive buffer exhausted).
+	Alloc func(size int, handle any) (bufAddr uint32, ok bool)
+	// OnReceive fires when a frame is fully in the SDRAM receive buffer.
+	OnReceive func(bufAddr uint32, size int, handle any)
+
+	wireRemain int
+	curSize    int
+	curHandle  any
+	staged     int // frames in the staging buffer awaiting SDRAM write
+
+	RxFrames stats.Counter
+	RxBytes  stats.Counter
+	Drops    stats.Counter
+	WireBusy stats.Utilization
+}
+
+// NewMACRx creates the receive engine.
+func NewMACRx(port *ScratchPort, sdram *mem.SDRAM, sdramPort int, progressAddr uint32) *MACRx {
+	return &MACRx{Port: port, sdram: sdram, sdramPort: sdramPort, ProgressAddr: progressAddr}
+}
+
+// TickCPU pumps the scratchpad port.
+func (m *MACRx) TickCPU(cycle uint64) { m.Port.Tick(cycle) }
+
+// Tick adapts MACRx to sim.Ticker in the CPU domain.
+func (m *MACRx) Tick(cycle uint64) { m.TickCPU(cycle) }
+
+// TickMAC advances the receive wire.
+func (m *MACRx) TickMAC(cycle uint64) {
+	m.WireBusy.Total.Inc()
+	if m.wireRemain == 0 {
+		if m.Source == nil {
+			return
+		}
+		size, handle, ok := m.Source.Next()
+		if !ok {
+			return
+		}
+		m.wireRemain = size + wireOverhead
+		m.curSize = size
+		m.curHandle = handle
+	}
+	m.WireBusy.Busy.Inc()
+	m.wireRemain -= BytesPerMACCycle
+	if m.wireRemain <= 0 {
+		m.wireRemain = 0
+		m.frameArrived(m.curSize, m.curHandle)
+	}
+}
+
+// frameArrived lands a complete frame in the staging buffer and starts its
+// SDRAM write; the staging buffer holds two frames, beyond which arrivals
+// drop (the SDRAM or allocation is the bottleneck).
+func (m *MACRx) frameArrived(size int, handle any) {
+	if m.staged >= 2 || m.Alloc == nil {
+		m.Drops.Inc()
+		return
+	}
+	addr, ok := m.Alloc(size, handle)
+	if !ok {
+		m.Drops.Inc()
+		return
+	}
+	m.staged++
+	m.RxFrames.Inc()
+	m.RxBytes.Add(uint64(size))
+	m.sdram.Enqueue(m.sdramPort, mem.Transfer{
+		Addr: addr, Len: size, Write: true,
+		OnDone: func() {
+			m.staged--
+			m.Port.Write(m.ProgressAddr, func() { m.Progress.Inc() })
+			if m.OnReceive != nil {
+				m.OnReceive(addr, size, handle)
+			}
+		},
+	})
+}

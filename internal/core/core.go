@@ -1,0 +1,232 @@
+// Package core assembles the complete programmable 10 Gigabit Ethernet
+// controller of the paper: P single-issue in-order cores with private
+// instruction caches, S scratchpad banks behind a 32-bit crossbar, four
+// streaming hardware assists, external GDDR SDRAM for frame data, the host
+// and its device driver, and the frame-level parallel firmware — across four
+// clock domains (CPU/scratchpad, SDRAM, MAC, host interconnect).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/assist"
+	"repro/internal/cpu"
+	"repro/internal/firmware"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config selects one controller build point.
+type Config struct {
+	Cores  int
+	CPUMHz float64
+
+	ScratchpadBytes int
+	ScratchpadBanks int
+
+	ICacheBytes int
+	ICacheWays  int
+	ICacheLine  int
+
+	SDRAMMHz float64
+	SDRAM    mem.SDRAMConfig
+
+	Ordering    firmware.Ordering
+	Parallelism firmware.Parallelism
+
+	Host host.Config
+
+	TxSlots  int
+	RxSlots  int
+	DMADepth int
+
+	// Profile overrides the firmware cost model when non-nil.
+	Profile *firmware.Profile
+}
+
+// DefaultConfig is the paper's software-only operating point: six cores and
+// four scratchpad banks at 200 MHz, 8 KB two-way 32-byte-line instruction
+// caches, and 64-bit 500 MHz GDDR SDRAM.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           6,
+		CPUMHz:          200,
+		ScratchpadBytes: 256 * 1024,
+		ScratchpadBanks: 4,
+		ICacheBytes:     8192,
+		ICacheWays:      2,
+		ICacheLine:      32,
+		SDRAMMHz:        500,
+		SDRAM:           mem.DefaultSDRAMConfig(),
+		Ordering:        firmware.SoftwareOnly,
+		Parallelism:     firmware.FrameParallel,
+		Host:            host.DefaultConfig(),
+		TxSlots:         512,
+		RxSlots:         512,
+		DMADepth:        4,
+	}
+}
+
+// RMWConfig is the paper's RMW-enhanced operating point: the atomic
+// set/update instructions allow the same six-core controller to run at
+// 166 MHz.
+func RMWConfig() Config {
+	c := DefaultConfig()
+	c.CPUMHz = 166
+	c.Ordering = firmware.RMWEnhanced
+	return c
+}
+
+// NIC is one assembled controller plus its environment.
+type NIC struct {
+	Cfg Config
+
+	Engine *sim.Engine
+	SP     *mem.Scratchpad
+	Xbar   *mem.Crossbar
+	SDRAM  *mem.SDRAM
+	IMem   *mem.InstrMemory
+	Cores  []*cpu.Core
+	Host   *host.Host
+	FW     *firmware.Firmware
+	As     firmware.Assists
+
+	TxSink *workload.TxSink
+	txGen  *workload.Generator
+	rxGen  *workload.Generator
+
+	baseline snapshot
+	measured sim.Picoseconds
+}
+
+// SDRAM port assignments for the four assists.
+const (
+	sdramDMARead = iota
+	sdramDMAWrite
+	sdramMACTx
+	sdramMACRx
+)
+
+// New assembles a controller.
+func New(cfg Config) *NIC {
+	if cfg.Cores <= 0 || cfg.CPUMHz <= 0 {
+		panic(fmt.Sprintf("core: bad config %+v", cfg))
+	}
+	n := &NIC{Cfg: cfg}
+
+	n.SP = mem.NewScratchpad(cfg.ScratchpadBytes, cfg.ScratchpadBanks)
+	n.Xbar = mem.NewCrossbar(cfg.Cores+4, cfg.ScratchpadBanks)
+	n.SDRAM = mem.NewSDRAM(cfg.SDRAM)
+	n.IMem = mem.NewInstrMemory(2, cfg.ICacheLine)
+	n.Host = host.New(cfg.Host)
+
+	prtDMARd := cfg.Cores + 0
+	prtDMAWr := cfg.Cores + 1
+	prtMACTx := cfg.Cores + 2
+	prtMACRx := cfg.Cores + 3
+
+	n.As = firmware.Assists{
+		DMARead: assist.NewDMARead(
+			assist.NewScratchPort(n.SP, n.Xbar, prtDMARd, cfg.Cores+0),
+			n.SDRAM, sdramDMARead, n.Host, firmware.PtrDMARead, cfg.DMADepth),
+		DMAWrite: assist.NewDMAWrite(
+			assist.NewScratchPort(n.SP, n.Xbar, prtDMAWr, cfg.Cores+1),
+			n.SDRAM, sdramDMAWrite, n.Host, firmware.PtrDMAWrite, cfg.DMADepth),
+		MACTx: assist.NewMACTx(
+			assist.NewScratchPort(n.SP, n.Xbar, prtMACTx, cfg.Cores+2),
+			n.SDRAM, sdramMACTx, firmware.PtrMACTx),
+		MACRx: assist.NewMACRx(
+			assist.NewScratchPort(n.SP, n.Xbar, prtMACRx, cfg.Cores+3),
+			n.SDRAM, sdramMACRx, firmware.PtrMACRx),
+	}
+
+	prof := firmware.DefaultProfile(cfg.Ordering)
+	if cfg.Profile != nil {
+		prof = *cfg.Profile
+	}
+	prof.Ordering = cfg.Ordering
+	prof.Parallelism = cfg.Parallelism
+	n.FW = firmware.New(prof, n.SP, n.Host, n.As, cfg.Cores, cfg.TxSlots, cfg.RxSlots)
+
+	for i := 0; i < cfg.Cores; i++ {
+		ic := mem.NewICache(cfg.ICacheBytes, cfg.ICacheWays, cfg.ICacheLine)
+		c := cpu.New(i, n.SP, n.Xbar, i, ic, n.IMem, firmware.NumAcct)
+		c.NextWork = n.FW.NextWorkFor(i)
+		n.Cores = append(n.Cores, c)
+	}
+
+	// Clock domains: CPU (cores, assists' control side, crossbar,
+	// instruction memory), SDRAM, MAC, host interconnect.
+	cpuD := sim.NewDomain("cpu", cfg.CPUMHz*1e6)
+	for _, c := range n.Cores {
+		cpuD.Add(c)
+	}
+	cpuD.Add(n.As.DMARead)
+	cpuD.Add(n.As.DMAWrite)
+	cpuD.Add(n.As.MACTx)
+	cpuD.Add(n.As.MACRx)
+	cpuD.Add(n.Xbar)
+	cpuD.Add(n.IMem)
+
+	sdramD := sim.NewDomain("sdram", cfg.SDRAMMHz*1e6)
+	sdramD.Add(n.SDRAM)
+
+	macD := sim.NewDomain("mac", assist.MACHz)
+	macD.Add(sim.TickFunc(n.As.MACTx.TickMAC))
+	macD.Add(sim.TickFunc(n.As.MACRx.TickMAC))
+
+	hostD := sim.NewDomain("host", 133e6)
+	hostD.Add(n.Host)
+
+	n.Engine = sim.NewEngine(cpuD, sdramD, macD, hostD)
+	return n
+}
+
+// AttachWorkload installs a full-duplex UDP stream of the given datagram
+// size on both directions.
+func (n *NIC) AttachWorkload(udpSize int, withPayload bool) {
+	n.txGen = workload.NewGenerator(udpSize, withPayload)
+	n.rxGen = workload.NewGenerator(udpSize, withPayload)
+	n.Host.Source = &workload.Sender{G: n.txGen}
+	n.As.MACRx.Source = &workload.Arrivals{G: n.rxGen}
+	n.TxSink = &workload.TxSink{}
+	n.FW.OnTransmit = func(f *host.Frame) { n.TxSink.Transmit(f) }
+}
+
+// EnableTracing captures per-processor scratchpad reference traces (cores
+// and assists) for the coherence study; call before Run. Returns the
+// per-processor trace slices, indexed 0..Cores-1 for cores and Cores..+3 for
+// the DMA read, DMA write, MAC tx, and MAC rx assists.
+func (n *NIC) EnableTracing(maxRefs int) []*[]trace.MemRef {
+	out := make([]*[]trace.MemRef, n.Cfg.Cores+4)
+	mk := func(proc int) func(trace.MemRef) {
+		s := new([]trace.MemRef)
+		out[proc] = s
+		return func(r trace.MemRef) {
+			if len(*s) < maxRefs {
+				*s = append(*s, r)
+			}
+		}
+	}
+	for i, c := range n.Cores {
+		c.TraceMem = mk(i)
+	}
+	n.As.DMARead.Port.TraceMem = mk(n.Cfg.Cores + 0)
+	n.As.DMAWrite.Port.TraceMem = mk(n.Cfg.Cores + 1)
+	n.As.MACTx.Port.TraceMem = mk(n.Cfg.Cores + 2)
+	n.As.MACRx.Port.TraceMem = mk(n.Cfg.Cores + 3)
+	return out
+}
+
+// Run warms the pipeline for warmup simulated time, then measures for
+// measure time and returns the report.
+func (n *NIC) Run(warmup, measure sim.Picoseconds) Report {
+	n.Engine.RunFor(warmup)
+	n.baseline = n.snapshot()
+	n.Engine.RunFor(measure)
+	n.measured = measure
+	return n.report(n.snapshot())
+}

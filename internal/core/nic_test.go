@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/firmware"
+	"repro/internal/sim"
+	"repro/internal/smpcache"
+	"repro/internal/trace"
+)
+
+// runCfg runs a configuration briefly and returns the report. Windows are
+// kept short for test speed; throughput tolerances are set accordingly.
+func runCfg(t *testing.T, cfg Config, udp int, warmupUs, measureUs int) Report {
+	t.Helper()
+	n := New(cfg)
+	n.AttachWorkload(udp, false)
+	return n.Run(sim.Picoseconds(warmupUs)*sim.Microsecond, sim.Picoseconds(measureUs)*sim.Microsecond)
+}
+
+func TestSoftwareOnlyReachesLineRateAt200MHz(t *testing.T) {
+	r := runCfg(t, DefaultConfig(), 1472, 1200, 800)
+	if r.LineFraction < 0.97 {
+		t.Errorf("6x200 software-only = %.1f%% of line rate, want >= 97%%", 100*r.LineFraction)
+	}
+	if r.TxOutOfOrder+r.RxOutOfOrder != 0 {
+		t.Errorf("ordering violated: tx %d rx %d", r.TxOutOfOrder, r.RxOutOfOrder)
+	}
+}
+
+func TestRMWReachesLineRateAt166MHz(t *testing.T) {
+	r := runCfg(t, RMWConfig(), 1472, 1200, 800)
+	if r.LineFraction < 0.97 {
+		t.Errorf("6x166 RMW = %.1f%% of line rate, want >= 97%%", 100*r.LineFraction)
+	}
+	if r.TxOutOfOrder+r.RxOutOfOrder != 0 {
+		t.Errorf("ordering violated: tx %d rx %d", r.TxOutOfOrder, r.RxOutOfOrder)
+	}
+}
+
+func TestSoftwareOnlyFallsShortAt175MHz(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUMHz = 175
+	r := runCfg(t, cfg, 1472, 1200, 800)
+	// Paper: 96.3% of line rate at six cores and 175 MHz.
+	if r.LineFraction < 0.85 || r.LineFraction > 0.99 {
+		t.Errorf("6x175 = %.1f%% of line rate, want the paper's just-short knee (~93-96%%)", 100*r.LineFraction)
+	}
+}
+
+func TestFourCoresFallShortAt200MHz(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	r := runCfg(t, cfg, 1472, 1200, 800)
+	if r.LineFraction > 0.95 {
+		t.Errorf("4x200 = %.1f%% of line rate; Figure 7 has four cores well short", 100*r.LineFraction)
+	}
+	if r.LineFraction < 0.5 {
+		t.Errorf("4x200 = %.1f%%, implausibly low", 100*r.LineFraction)
+	}
+}
+
+func TestSingleCoreNeedsHighFrequency(t *testing.T) {
+	lo := DefaultConfig()
+	lo.Cores = 1
+	lo.CPUMHz = 400
+	rLo := runCfg(t, lo, 1472, 1200, 800)
+	if rLo.LineFraction > 0.85 {
+		t.Errorf("1x400 = %.1f%%, should be far short of line rate", 100*rLo.LineFraction)
+	}
+	hi := DefaultConfig()
+	hi.Cores = 1
+	hi.CPUMHz = 800
+	rHi := runCfg(t, hi, 1472, 1200, 800)
+	if rHi.LineFraction < 0.95 {
+		t.Errorf("1x800 = %.1f%%, paper has a single core reaching line rate near 800 MHz", 100*rHi.LineFraction)
+	}
+}
+
+func TestIPCBreakdownMatchesTable3(t *testing.T) {
+	r := runCfg(t, DefaultConfig(), 1472, 1500, 1000)
+	if r.IPC < 0.65 || r.IPC > 0.80 {
+		t.Errorf("IPC = %.3f, want ~0.72", r.IPC)
+	}
+	if r.FracLoad < 0.08 || r.FracLoad > 0.18 {
+		t.Errorf("load stalls = %.3f, want ~0.12", r.FracLoad)
+	}
+	if r.FracConflict < 0.01 || r.FracConflict > 0.10 {
+		t.Errorf("conflict stalls = %.3f, want ~0.05", r.FracConflict)
+	}
+	if r.FracPipeline < 0.05 || r.FracPipeline > 0.16 {
+		t.Errorf("pipeline stalls = %.3f, want ~0.10", r.FracPipeline)
+	}
+	if r.FracIMiss > 0.05 {
+		t.Errorf("imiss stalls = %.3f, want ~0.01", r.FracIMiss)
+	}
+}
+
+func TestBandwidthsMatchTable4(t *testing.T) {
+	r := runCfg(t, DefaultConfig(), 1472, 1500, 1000)
+	if r.ScratchGbps < 8 || r.ScratchGbps > 13 {
+		t.Errorf("scratchpad bandwidth = %.2f Gb/s, want ~9.4", r.ScratchGbps)
+	}
+	if r.FrameMemGbps < 36 || r.FrameMemGbps > 46 {
+		t.Errorf("frame memory bandwidth = %.2f Gb/s, want ~39.7", r.FrameMemGbps)
+	}
+	if r.FrameMemGbps <= r.FrameUsefulGbps {
+		t.Error("consumed frame bandwidth must exceed useful (alignment waste)")
+	}
+	if r.IMemUtilization > 0.15 {
+		t.Errorf("instruction memory utilization = %.3f; the port is idle ~97%% of the time", r.IMemUtilization)
+	}
+}
+
+func TestRMWReducesSendCyclesPerFrame(t *testing.T) {
+	sw := runCfg(t, DefaultConfig(), 1472, 1500, 1000)
+	rmw := runCfg(t, RMWConfig(), 1472, 1500, 1000)
+	red := 1 - rmw.Send.Total.CyclesPerFrm/sw.Send.Total.CyclesPerFrm
+	// Paper Table 6: send cycles fall 28.4%; receive only 4.7%.
+	if red < 0.15 || red > 0.45 {
+		t.Errorf("RMW send cycle reduction = %.1f%%, want ~28%%", 100*red)
+	}
+	recvRed := 1 - rmw.Recv.Total.CyclesPerFrm/sw.Recv.Total.CyclesPerFrm
+	if recvRed > 0.15 || recvRed < -0.10 {
+		t.Errorf("RMW receive cycle reduction = %.1f%%, want small (~5%%)", 100*recvRed)
+	}
+	// Dispatch-and-ordering instructions drop sharply on the send side.
+	ordRed := 1 - rmw.Send.DispOrder.InstrPerFrm/sw.Send.DispOrder.InstrPerFrm
+	if ordRed < 0.40 {
+		t.Errorf("send dispatch+ordering instruction reduction = %.1f%%, want >= 40%%", 100*ordRed)
+	}
+}
+
+func TestTaskParallelScalesWorse(t *testing.T) {
+	fp := DefaultConfig()
+	fp.CPUMHz = 150 // make the frame-parallel build work for its throughput
+	rFP := runCfg(t, fp, 1472, 1000, 600)
+	tp := fp
+	tp.Parallelism = firmware.TaskParallel
+	rTP := runCfg(t, tp, 1472, 1000, 600)
+	if rTP.TotalGbps >= rFP.TotalGbps {
+		t.Errorf("task-parallel (%.2f Gb/s) not below frame-parallel (%.2f Gb/s)",
+			rTP.TotalGbps, rFP.TotalGbps)
+	}
+	if rTP.TxOutOfOrder+rTP.RxOutOfOrder != 0 {
+		t.Error("task-parallel firmware violated ordering")
+	}
+}
+
+func TestPayloadIntegrityEndToEnd(t *testing.T) {
+	n := New(DefaultConfig())
+	n.AttachWorkload(256, true)
+	r := n.Run(300*sim.Microsecond, 300*sim.Microsecond)
+	if r.RxCorrupt != 0 {
+		t.Errorf("corrupt frames delivered: %d", r.RxCorrupt)
+	}
+	if n.Host.RecvDelivered.Value() == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if r.TxOutOfOrder+r.RxOutOfOrder != 0 {
+		t.Error("ordering violated")
+	}
+}
+
+func TestSmallFramesSaturateFrameRate(t *testing.T) {
+	r := runCfg(t, DefaultConfig(), 200, 1000, 600)
+	total := r.TxFPS + r.RxFPS
+	// Figure 8: the configurations saturate near 2 million frames/s total.
+	if total < 1.2e6 || total > 3.0e6 {
+		t.Errorf("small-frame saturation = %.2f Mfps, want ~1.5-2.2", total/1e6)
+	}
+	if r.LineFraction > 0.5 {
+		t.Errorf("small frames at %.1f%% of line rate; must be processing limited", 100*r.LineFraction)
+	}
+}
+
+func TestMemoryTracesFeedCoherenceStudy(t *testing.T) {
+	// The Figure 3 pipeline: capture per-processor metadata traces from a
+	// six-core run, interleave the assist traces pairwise (SMPCache's
+	// eight-cache limit), and sweep MESI caches.
+	n := New(DefaultConfig())
+	n.AttachWorkload(1472, false)
+	traces := n.EnableTracing(200000)
+	n.Run(200*sim.Microsecond, 300*sim.Microsecond)
+
+	// Filter to frame metadata, as the paper did.
+	meta := func(in []trace.MemRef) []trace.MemRef {
+		var out []trace.MemRef
+		for _, r := range in {
+			if firmware.IsFrameMetadata(r.Addr) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	var refs []trace.MemRef
+	for p := 0; p < 6; p++ {
+		for _, r := range meta(*traces[p]) {
+			r.Proc = p
+			refs = append(refs, r)
+		}
+	}
+	refs = append(refs, trace.Interleave(6, meta(*traces[6]), meta(*traces[7]))...)
+	refs = append(refs, trace.Interleave(7, meta(*traces[8]), meta(*traces[9]))...)
+	if len(refs) < 10000 {
+		t.Fatalf("captured only %d refs", len(refs))
+	}
+	s := smpcache.New(smpcache.Config{Caches: 8, CacheBytes: 32 * 1024, LineBytes: 16})
+	s.Run(refs)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	hr := s.CollectiveHitRatio()
+	// Paper Figure 3: the hit ratio plateaus far below 100% even at 32 KB
+	// (their proprietary-firmware traces plateau at 55%; ours carry more
+	// intra-handler reuse and plateau higher — see EXPERIMENTS.md).
+	if hr > 0.92 {
+		t.Errorf("32 KB coherent-cache hit ratio = %.3f; metadata should cache poorly", hr)
+	}
+	if s.InvalidationRate() > 0.15 {
+		t.Errorf("invalidation rate = %.3f, want modest", s.InvalidationRate())
+	}
+	// The defining shape: a tiny cache must do much worse than the plateau.
+	tiny := smpcache.New(smpcache.Config{Caches: 8, CacheBytes: 64, LineBytes: 16})
+	tiny.Run(refs)
+	if tiny.CollectiveHitRatio() > hr-0.15 {
+		t.Errorf("64 B hit ratio %.3f too close to 32 KB plateau %.3f", tiny.CollectiveHitRatio(), hr)
+	}
+}
+
+func TestBankAblation(t *testing.T) {
+	one := DefaultConfig()
+	one.ScratchpadBanks = 1
+	rOne := runCfg(t, one, 1472, 800, 500)
+	rFour := runCfg(t, DefaultConfig(), 1472, 800, 500)
+	if rOne.FracConflict <= rFour.FracConflict {
+		t.Errorf("1-bank conflict fraction %.3f not above 4-bank %.3f",
+			rOne.FracConflict, rFour.FracConflict)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := runCfg(t, DefaultConfig(), 1472, 200, 200)
+	s := r.String()
+	for _, want := range []string{"throughput", "IPC", "scratchpad", "Dispatch and Ordering", "Locking"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero cores did not panic")
+		}
+	}()
+	New(Config{})
+}

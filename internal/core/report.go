@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/ethernet"
+	"repro/internal/firmware"
+)
+
+// snapshot captures every counter a report diffs.
+type snapshot struct {
+	cores []cpu.Stats
+
+	funcCycles [][]uint64
+	funcInstr  [][]uint64
+	funcMem    [][]uint64
+	funcLockCy [][]uint64
+	funcLockIn [][]uint64
+
+	txFrames, txUDPBytes, txOOO uint64
+	rxFrames, rxUDPBytes, rxOOO uint64
+	rxCorrupt, rxDrops          uint64
+	sendCompleted               uint64
+
+	spReads, spWrites uint64
+	assistAccesses    uint64
+
+	sdramUseful, sdramConsumed, sdramWasted uint64
+	sdramBusy, sdramTotal                   uint64
+
+	imemBusy, imemTotal, imemFills uint64
+
+	events [10]uint64
+}
+
+func (n *NIC) snapshot() snapshot {
+	var s snapshot
+	for _, c := range n.Cores {
+		s.cores = append(s.cores, c.Stats)
+		s.funcCycles = append(s.funcCycles, append([]uint64(nil), c.FuncCycles...))
+		s.funcInstr = append(s.funcInstr, append([]uint64(nil), c.FuncInstr...))
+		s.funcMem = append(s.funcMem, append([]uint64(nil), c.FuncMem...))
+		s.funcLockCy = append(s.funcLockCy, append([]uint64(nil), c.FuncLockCycles...))
+		s.funcLockIn = append(s.funcLockIn, append([]uint64(nil), c.FuncLockInstr...))
+	}
+	if n.TxSink != nil {
+		s.txFrames = n.TxSink.Frames.Value()
+		s.txUDPBytes = n.TxSink.Bytes.Value()
+		s.txOOO = n.TxSink.OutOfOrder.Value()
+	}
+	s.rxFrames = n.Host.RecvDelivered.Value()
+	s.rxUDPBytes = n.Host.RecvBytes.Value()
+	s.rxOOO = n.Host.RecvOutOfOrd.Value()
+	s.rxCorrupt = n.Host.RecvCorrupt.Value()
+	s.rxDrops = n.As.MACRx.Drops.Value()
+	s.sendCompleted = n.Host.SendCompleted.Value()
+
+	s.spReads, s.spWrites = n.SP.TotalAccesses()
+	s.assistAccesses = n.As.DMARead.Port.Accesses.Value() +
+		n.As.DMAWrite.Port.Accesses.Value() +
+		n.As.MACTx.Port.Accesses.Value() +
+		n.As.MACRx.Port.Accesses.Value()
+
+	s.sdramUseful = n.SDRAM.UsefulBytes.Value()
+	s.sdramConsumed = n.SDRAM.ConsumedBytes.Value()
+	s.sdramWasted = n.SDRAM.WastedBytes.Value()
+	s.sdramBusy = n.SDRAM.Busy.Busy.Value()
+	s.sdramTotal = n.SDRAM.Busy.Total.Value()
+
+	s.imemBusy = n.IMem.PortBusy.Busy.Value()
+	s.imemTotal = n.IMem.PortBusy.Total.Value()
+	s.imemFills = n.IMem.Fills.Value()
+
+	for i := range s.events {
+		s.events[i] = n.FW.Events[i].Value()
+	}
+	return s
+}
+
+// FuncRow is one per-function attribution row, normalized per frame.
+type FuncRow struct {
+	Name         string
+	CyclesPerFrm float64
+	InstrPerFrm  float64
+	MemPerFrm    float64
+}
+
+// Report is everything the experiments read out of one run.
+type Report struct {
+	Cfg     Config
+	UDPSize int
+	Seconds float64
+
+	// Throughput (per direction and total), UDP payload.
+	TxGbps, RxGbps, TotalGbps float64
+	TxFPS, RxFPS              float64
+	// LineRate is the Ethernet-limited full-duplex payload throughput for
+	// this datagram size.
+	LineRate     float64
+	LineFraction float64
+
+	// Correctness.
+	TxOutOfOrder, RxOutOfOrder, RxDrops, RxCorrupt uint64
+
+	// Per-core computation breakdown (Table 3), fractions of one
+	// instruction slot per cycle per core.
+	IPC           float64
+	FracIMiss     float64
+	FracLoad      float64
+	FracConflict  float64
+	FracPipeline  float64
+	FracIdlePoll  float64 // cycles burned in unproductive poll passes
+	SpinLoadsPerF float64
+
+	// Memory system (Table 4), Gb/s.
+	ScratchGbps      float64
+	ScratchCoreGbps  float64
+	ScratchAssistAcc float64 // assist accesses per second (millions)
+	FrameMemGbps     float64 // consumed, incl. alignment waste
+	FrameUsefulGbps  float64
+	SDRAMUtilization float64
+	IMemUtilization  float64
+
+	// Per-function attribution: send rows normalized by transmitted frames,
+	// receive rows by delivered frames (Tables 5 and 6).
+	Send FuncBreakdown
+	Recv FuncBreakdown
+
+	Events [10]uint64
+}
+
+// FuncBreakdown is one direction's per-frame rows.
+type FuncBreakdown struct {
+	FetchBD   FuncRow
+	Frame     FuncRow
+	DispOrder FuncRow
+	Locking   FuncRow
+	Total     FuncRow
+}
+
+func sub(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+func (n *NIC) report(end snapshot) Report {
+	base := n.baseline
+	secs := n.measured.Seconds()
+	r := Report{Cfg: n.Cfg, Seconds: secs}
+	if n.txGen != nil {
+		r.UDPSize = n.txGen.UDPSize
+	}
+
+	txFrames := end.txFrames - base.txFrames
+	rxFrames := end.rxFrames - base.rxFrames
+	r.TxGbps = float64(end.txUDPBytes-base.txUDPBytes) * 8 / secs / 1e9
+	r.RxGbps = float64(end.rxUDPBytes-base.rxUDPBytes) * 8 / secs / 1e9
+	r.TotalGbps = r.TxGbps + r.RxGbps
+	r.TxFPS = float64(txFrames) / secs
+	r.RxFPS = float64(rxFrames) / secs
+	r.LineRate = 2 * ethernet.PayloadThroughputGbps(r.UDPSize)
+	if r.LineRate > 0 {
+		r.LineFraction = r.TotalGbps / r.LineRate
+	}
+	r.TxOutOfOrder = end.txOOO - base.txOOO
+	r.RxOutOfOrder = end.rxOOO - base.rxOOO
+	r.RxDrops = end.rxDrops - base.rxDrops
+	r.RxCorrupt = end.rxCorrupt - base.rxCorrupt
+
+	// Core aggregate.
+	var agg cpu.Stats
+	for i := range n.Cores {
+		d := end.cores[i]
+		b := base.cores[i]
+		agg.Add(cpu.Stats{
+			Cycles:         d.Cycles - b.Cycles,
+			Instructions:   d.Instructions - b.Instructions,
+			IMissStalls:    d.IMissStalls - b.IMissStalls,
+			LoadStalls:     d.LoadStalls - b.LoadStalls,
+			ConflictStalls: d.ConflictStalls - b.ConflictStalls,
+			PipelineStalls: d.PipelineStalls - b.PipelineStalls,
+			IdleCycles:     d.IdleCycles - b.IdleCycles,
+			SpinLoads:      d.SpinLoads - b.SpinLoads,
+			Loads:          d.Loads - b.Loads,
+			Stores:         d.Stores - b.Stores,
+			RMWs:           d.RMWs - b.RMWs,
+		})
+	}
+	cy := float64(agg.Cycles)
+	if cy > 0 {
+		r.IPC = float64(agg.Instructions) / cy
+		r.FracIMiss = float64(agg.IMissStalls) / cy
+		r.FracLoad = float64(agg.LoadStalls) / cy
+		r.FracConflict = float64(agg.ConflictStalls) / cy
+		r.FracPipeline = float64(agg.PipelineStalls) / cy
+	}
+	if txFrames+rxFrames > 0 {
+		r.SpinLoadsPerF = float64(agg.SpinLoads) / float64(txFrames+rxFrames)
+	}
+
+	// Bucket sums across cores.
+	sumBucket := func(mat [][]uint64, baseMat [][]uint64, bucket int) float64 {
+		var t uint64
+		for i := range mat {
+			t += mat[i][bucket] - baseMat[i][bucket]
+		}
+		return float64(t)
+	}
+	idleCy := sumBucket(end.funcCycles, base.funcCycles, firmware.AcctIdle)
+	if cy > 0 {
+		r.FracIdlePoll = idleCy / cy
+	}
+
+	row := func(name string, bucket int, frames float64) FuncRow {
+		if frames == 0 {
+			return FuncRow{Name: name}
+		}
+		return FuncRow{
+			Name:         name,
+			CyclesPerFrm: sumBucket(end.funcCycles, base.funcCycles, bucket) / frames,
+			InstrPerFrm:  sumBucket(end.funcInstr, base.funcInstr, bucket) / frames,
+			MemPerFrm:    sumBucket(end.funcMem, base.funcMem, bucket) / frames,
+		}
+	}
+	lockRow := func(name string, buckets []int, frames float64) FuncRow {
+		if frames == 0 {
+			return FuncRow{Name: name}
+		}
+		var fr FuncRow
+		fr.Name = name
+		for _, b := range buckets {
+			fr.CyclesPerFrm += sumBucket(end.funcLockCy, base.funcLockCy, b) / frames
+			fr.InstrPerFrm += sumBucket(end.funcLockIn, base.funcLockIn, b) / frames
+		}
+		return fr
+	}
+	mkDir := func(fetchB, frameB, orderB int, frames float64) FuncBreakdown {
+		d := FuncBreakdown{
+			FetchBD:   row("Fetch BD", fetchB, frames),
+			Frame:     row("Frame", frameB, frames),
+			DispOrder: row("Dispatch and Ordering", orderB, frames),
+			Locking:   lockRow("Locking", []int{fetchB, frameB, orderB}, frames),
+		}
+		// Locking is reported as its own row, so remove it from the rows it
+		// was attributed within (the paper's Table 5/6 structure).
+		lk := func(b int) (cyc, ins float64) {
+			return sumBucket(end.funcLockCy, base.funcLockCy, b) / frames,
+				sumBucket(end.funcLockIn, base.funcLockIn, b) / frames
+		}
+		if frames > 0 {
+			for _, p := range []struct {
+				r *FuncRow
+				b int
+			}{{&d.FetchBD, fetchB}, {&d.Frame, frameB}, {&d.DispOrder, orderB}} {
+				c, i := lk(p.b)
+				p.r.CyclesPerFrm -= c
+				p.r.InstrPerFrm -= i
+			}
+		}
+		d.Total = FuncRow{
+			Name:         "Total",
+			CyclesPerFrm: d.FetchBD.CyclesPerFrm + d.Frame.CyclesPerFrm + d.DispOrder.CyclesPerFrm + d.Locking.CyclesPerFrm,
+			InstrPerFrm:  d.FetchBD.InstrPerFrm + d.Frame.InstrPerFrm + d.DispOrder.InstrPerFrm + d.Locking.InstrPerFrm,
+			MemPerFrm:    d.FetchBD.MemPerFrm + d.Frame.MemPerFrm + d.DispOrder.MemPerFrm,
+		}
+		return d
+	}
+	r.Send = mkDir(firmware.AcctFetchSendBD, firmware.AcctSendFrame, firmware.AcctSendOrder, float64(txFrames))
+	r.Recv = mkDir(firmware.AcctFetchRecvBD, firmware.AcctRecvFrame, firmware.AcctRecvOrder, float64(rxFrames))
+
+	// Memory system.
+	spAcc := float64(end.spReads - base.spReads + end.spWrites - base.spWrites)
+	r.ScratchGbps = spAcc * 4 * 8 / secs / 1e9
+	assistAcc := float64(end.assistAccesses - base.assistAccesses)
+	r.ScratchCoreGbps = (spAcc - assistAcc) * 4 * 8 / secs / 1e9
+	r.ScratchAssistAcc = assistAcc / secs / 1e6
+	r.FrameMemGbps = float64(end.sdramConsumed-base.sdramConsumed) * 8 / secs / 1e9
+	r.FrameUsefulGbps = float64(end.sdramUseful-base.sdramUseful) * 8 / secs / 1e9
+	if t := end.sdramTotal - base.sdramTotal; t > 0 {
+		r.SDRAMUtilization = float64(end.sdramBusy-base.sdramBusy) / float64(t)
+	}
+	if t := end.imemTotal - base.imemTotal; t > 0 {
+		r.IMemUtilization = float64(end.imemBusy-base.imemBusy) / float64(t)
+	}
+	for i := range r.Events {
+		r.Events[i] = end.events[i] - base.events[i]
+	}
+	return r
+}
+
+// String renders a human-readable report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d cores @ %.0f MHz, %d banks, %v, %v, UDP %d B\n",
+		r.Cfg.Cores, r.Cfg.CPUMHz, r.Cfg.ScratchpadBanks, r.Cfg.Ordering, r.Cfg.Parallelism, r.UDPSize)
+	fmt.Fprintf(&b, "throughput: tx %.2f + rx %.2f = %.2f Gb/s (%.1f%% of %.2f Gb/s duplex limit)\n",
+		r.TxGbps, r.RxGbps, r.TotalGbps, 100*r.LineFraction, r.LineRate)
+	fmt.Fprintf(&b, "frame rate: tx %.0f + rx %.0f fps; ooo tx/rx %d/%d, drops %d, corrupt %d\n",
+		r.TxFPS, r.RxFPS, r.TxOutOfOrder, r.RxOutOfOrder, r.RxDrops, r.RxCorrupt)
+	fmt.Fprintf(&b, "per-core IPC %.3f (imiss %.3f, load %.3f, conflict %.3f, pipeline %.3f, idle-poll %.3f)\n",
+		r.IPC, r.FracIMiss, r.FracLoad, r.FracConflict, r.FracPipeline, r.FracIdlePoll)
+	fmt.Fprintf(&b, "scratchpad %.2f Gb/s (assists %.1f M acc/s), frame memory %.2f Gb/s consumed (%.2f useful), sdram util %.2f, imem util %.3f\n",
+		r.ScratchGbps, r.ScratchAssistAcc, r.FrameMemGbps, r.FrameUsefulGbps, r.SDRAMUtilization, r.IMemUtilization)
+	dir := func(name string, d FuncBreakdown) {
+		fmt.Fprintf(&b, "%s per frame:\n", name)
+		for _, fr := range []FuncRow{d.FetchBD, d.Frame, d.DispOrder, d.Locking, d.Total} {
+			fmt.Fprintf(&b, "  %-24s %8.1f cycles %8.1f instr %7.1f mem\n",
+				fr.Name, fr.CyclesPerFrm, fr.InstrPerFrm, fr.MemPerFrm)
+		}
+	}
+	dir("send", r.Send)
+	dir("receive", r.Recv)
+	return b.String()
+}

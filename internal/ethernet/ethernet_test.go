@@ -1,0 +1,194 @@
+package ethernet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFrameRateMatchesPaper(t *testing.T) {
+	// The paper: "A full-duplex 10 Gb/s link can deliver maximum-sized
+	// 1518-byte frames at the rate of 812,744 frames per second in each
+	// direction."
+	got := FramesPerSecond(MaxFrame)
+	if math.Abs(got-812744) > 1 {
+		t.Errorf("FramesPerSecond(1518) = %.1f, want 812744 ±1", got)
+	}
+}
+
+func TestWireBitsMaxFrame(t *testing.T) {
+	if got := WireBits(MaxFrame); got != 12304 {
+		t.Errorf("WireBits(1518) = %d, want 12304", got)
+	}
+}
+
+func TestFrameSizeForUDP(t *testing.T) {
+	cases := []struct {
+		udp  int
+		want int
+	}{
+		{1472, 1518}, // maximum-sized UDP datagram -> maximum frame
+		{800, 846},
+		{18, 64}, // 18+28=46 payload: exactly minimum
+		{0, 64},  // padded to minimum
+		{4, 64},  // padded to minimum
+	}
+	for _, c := range cases {
+		if got := FrameSizeForUDP(c.udp); got != c.want {
+			t.Errorf("FrameSizeForUDP(%d) = %d, want %d", c.udp, got, c.want)
+		}
+	}
+}
+
+func TestPayloadThroughputMaxUDP(t *testing.T) {
+	// 1472-byte datagrams in 1518-byte frames: 812744 fps * 1472B * 8 = 9.57 Gb/s.
+	got := PayloadThroughputGbps(MaxUDPPayload)
+	if math.Abs(got-9.571) > 0.01 {
+		t.Errorf("PayloadThroughputGbps(1472) = %.3f, want ~9.571", got)
+	}
+}
+
+func TestPayloadThroughputDecreasesWithSize(t *testing.T) {
+	// Per-frame overheads are constant, so payload throughput must fall
+	// monotonically as datagrams shrink (paper, Figure 8 discussion).
+	prev := PayloadThroughputGbps(1472)
+	for _, size := range []int{1000, 800, 400, 200, 100, 18} {
+		cur := PayloadThroughputGbps(size)
+		if cur >= prev {
+			t.Errorf("throughput at %dB = %.3f, not below %.3f", size, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFrameMarshalUnmarshalRoundTrip(t *testing.T) {
+	f := &Frame{
+		Dst:       MAC{0x02, 0, 0, 0, 0, 1},
+		Src:       MAC{0x02, 0, 0, 0, 0, 2},
+		EtherType: EtherTypeIPv4,
+		Payload:   []byte("hello, network interface controller!!!!!!!!!!!"),
+	}
+	b := f.Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Dst != f.Dst || got.Src != f.Src || got.EtherType != f.EtherType {
+		t.Errorf("header mismatch: got %+v", got)
+	}
+	if string(got.Payload[:len(f.Payload)]) != string(f.Payload) {
+		t.Errorf("payload mismatch")
+	}
+}
+
+func TestFrameMinimumPadding(t *testing.T) {
+	f := &Frame{EtherType: EtherTypeIPv4, Payload: []byte{1, 2, 3}}
+	b := f.Marshal()
+	if len(b) != MinFrame {
+		t.Errorf("marshaled short frame = %d bytes, want %d", len(b), MinFrame)
+	}
+}
+
+func TestUnmarshalRejectsCorruptFCS(t *testing.T) {
+	f := &Frame{EtherType: EtherTypeIPv4, Payload: make([]byte, 100)}
+	b := f.Marshal()
+	b[20] ^= 0xff
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("Unmarshal accepted a frame with a corrupted byte")
+	}
+}
+
+func TestUnmarshalRejectsBadLengths(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("Unmarshal accepted a 10-byte frame")
+	}
+	if _, err := Unmarshal(make([]byte, MaxFrame+1)); err == nil {
+		t.Error("Unmarshal accepted an oversized frame")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	p := &UDPPacket{
+		SrcIP:   IPv4Addr{10, 0, 0, 1},
+		DstIP:   IPv4Addr{10, 0, 0, 2},
+		SrcPort: 5001,
+		DstPort: 5002,
+		ID:      42,
+		Payload: []byte("datagram payload"),
+	}
+	b := p.MarshalIPv4()
+	got, err := ParseUDPIPv4(b)
+	if err != nil {
+		t.Fatalf("ParseUDPIPv4: %v", err)
+	}
+	if got.SrcIP != p.SrcIP || got.DstIP != p.DstIP || got.SrcPort != p.SrcPort ||
+		got.DstPort != p.DstPort || got.ID != p.ID {
+		t.Errorf("headers mismatch: got %+v", got)
+	}
+	if string(got.Payload) != string(p.Payload) {
+		t.Errorf("payload = %q, want %q", got.Payload, p.Payload)
+	}
+}
+
+func TestUDPChecksumDetectsCorruption(t *testing.T) {
+	p := &UDPPacket{SrcIP: IPv4Addr{1, 2, 3, 4}, DstIP: IPv4Addr{5, 6, 7, 8}, Payload: []byte("xyz")}
+	b := p.MarshalIPv4()
+	b[len(b)-1] ^= 0x01
+	if _, err := ParseUDPIPv4(b); err == nil {
+		t.Error("ParseUDPIPv4 accepted a corrupted payload")
+	}
+}
+
+func TestIPChecksumDetectsCorruption(t *testing.T) {
+	p := &UDPPacket{SrcIP: IPv4Addr{1, 2, 3, 4}, DstIP: IPv4Addr{5, 6, 7, 8}, Payload: []byte("xyz")}
+	b := p.MarshalIPv4()
+	b[15] ^= 0x40 // flip a bit in the source address
+	if _, err := ParseUDPIPv4(b); err == nil {
+		t.Error("ParseUDPIPv4 accepted a corrupted IP header")
+	}
+}
+
+func TestUDPRoundTripProperty(t *testing.T) {
+	// Property: any payload up to the UDP maximum survives a marshal/parse
+	// round trip, wrapped in an Ethernet frame as well.
+	f := func(payload []byte, id uint16) bool {
+		if len(payload) > MaxUDPPayload {
+			payload = payload[:MaxUDPPayload]
+		}
+		p := &UDPPacket{
+			SrcIP: IPv4Addr{192, 168, 0, 1}, DstIP: IPv4Addr{192, 168, 0, 2},
+			SrcPort: 1000, DstPort: 2000, ID: id, Payload: payload,
+		}
+		fr := &Frame{EtherType: EtherTypeIPv4, Payload: p.MarshalIPv4()}
+		wire := fr.Marshal()
+		fr2, err := Unmarshal(wire)
+		if err != nil {
+			return false
+		}
+		// Padding may extend the Ethernet payload; the IP total length field
+		// delimits the real packet.
+		p2, err := ParseUDPIPv4(fr2.Payload)
+		if err != nil {
+			return false
+		}
+		if p2.ID != id || len(p2.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if p2.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Errorf("MAC.String() = %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// An IPv4Addr is a 32-bit IPv4 address.
+type IPv4Addr [4]byte
+
+// String formats the address in dotted-quad form.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// A UDPPacket describes a UDP datagram to be wrapped in IPv4 and Ethernet
+// headers. The paper's workloads are streams of UDP datagrams of a fixed size.
+type UDPPacket struct {
+	SrcIP    IPv4Addr
+	DstIP    IPv4Addr
+	SrcPort  uint16
+	DstPort  uint16
+	ID       uint16 // IPv4 identification field; carries the sequence number
+	Payload  []byte
+	TTL      uint8
+	checksum uint16
+}
+
+// MarshalIPv4 serializes the datagram as an IPv4 packet (the Ethernet
+// payload), computing the IP header checksum and the UDP checksum over the
+// pseudo-header.
+func (p *UDPPacket) MarshalIPv4() []byte {
+	udpLen := UDPHeaderBytes + len(p.Payload)
+	totalLen := IPv4HeaderBytes + udpLen
+	buf := make([]byte, totalLen)
+
+	ttl := p.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:4], uint16(totalLen))
+	binary.BigEndian.PutUint16(buf[4:6], p.ID)
+	buf[8] = ttl
+	buf[9] = 17 // protocol UDP
+	copy(buf[12:16], p.SrcIP[:])
+	copy(buf[16:20], p.DstIP[:])
+	binary.BigEndian.PutUint16(buf[10:12], ipChecksum(buf[:IPv4HeaderBytes]))
+
+	udp := buf[IPv4HeaderBytes:]
+	binary.BigEndian.PutUint16(udp[0:2], p.SrcPort)
+	binary.BigEndian.PutUint16(udp[2:4], p.DstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpLen))
+	copy(udp[UDPHeaderBytes:], p.Payload)
+	binary.BigEndian.PutUint16(udp[6:8], udpChecksum(p.SrcIP, p.DstIP, udp))
+	return buf
+}
+
+// ParseUDPIPv4 parses an IPv4 packet carrying UDP, verifying both checksums.
+func ParseUDPIPv4(b []byte) (*UDPPacket, error) {
+	if len(b) < IPv4HeaderBytes+UDPHeaderBytes {
+		return nil, fmt.Errorf("ethernet: IPv4 packet too short: %d bytes", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("ethernet: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderBytes || len(b) < ihl {
+		return nil, fmt.Errorf("ethernet: bad IHL %d", ihl)
+	}
+	if s := ipChecksumVerify(b[:ihl]); s != 0 {
+		return nil, fmt.Errorf("ethernet: IPv4 header checksum mismatch (sum %04x)", s)
+	}
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if totalLen > len(b) || totalLen < ihl+UDPHeaderBytes {
+		return nil, fmt.Errorf("ethernet: bad IPv4 total length %d", totalLen)
+	}
+	if b[9] != 17 {
+		return nil, fmt.Errorf("ethernet: not UDP (protocol %d)", b[9])
+	}
+	p := &UDPPacket{ID: binary.BigEndian.Uint16(b[4:6]), TTL: b[8]}
+	copy(p.SrcIP[:], b[12:16])
+	copy(p.DstIP[:], b[16:20])
+	udp := b[ihl:totalLen]
+	udpLen := int(binary.BigEndian.Uint16(udp[4:6]))
+	if udpLen != len(udp) {
+		return nil, fmt.Errorf("ethernet: UDP length %d does not match available %d", udpLen, len(udp))
+	}
+	if want := binary.BigEndian.Uint16(udp[6:8]); want != 0 {
+		got := udpChecksumVerify(p.SrcIP, p.DstIP, udp)
+		if got != 0 && got != 0xffff {
+			return nil, fmt.Errorf("ethernet: UDP checksum mismatch (sum %04x)", got)
+		}
+	}
+	p.SrcPort = binary.BigEndian.Uint16(udp[0:2])
+	p.DstPort = binary.BigEndian.Uint16(udp[2:4])
+	p.Payload = append([]byte(nil), udp[UDPHeaderBytes:]...)
+	return p, nil
+}
+
+// onesSum accumulates the 16-bit one's-complement sum used by the IP and UDP
+// checksums.
+func onesSum(sum uint32, b []byte) uint32 {
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	return sum
+}
+
+func foldSum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return uint16(sum)
+}
+
+// ipChecksum computes the IPv4 header checksum, assuming the checksum field
+// in the input is zero.
+func ipChecksum(hdr []byte) uint16 { return ^foldSum(onesSum(0, hdr)) }
+
+// ipChecksumVerify returns zero for a header with a valid checksum.
+func ipChecksumVerify(hdr []byte) uint16 { return ^foldSum(onesSum(0, hdr)) }
+
+// udpChecksum computes the UDP checksum over the IPv4 pseudo-header and the
+// UDP header+payload, assuming the checksum field in the input is zero.
+func udpChecksum(src, dst IPv4Addr, udp []byte) uint16 {
+	sum := onesSum(0, src[:])
+	sum = onesSum(sum, dst[:])
+	sum += 17
+	sum += uint32(len(udp))
+	sum = onesSum(sum, udp)
+	c := ^foldSum(sum)
+	if c == 0 {
+		c = 0xffff // transmitted-zero means "no checksum" in UDP
+	}
+	return c
+}
+
+// udpChecksumVerify returns zero (or 0xffff) for a datagram with a valid
+// checksum.
+func udpChecksumVerify(src, dst IPv4Addr, udp []byte) uint16 {
+	sum := onesSum(0, src[:])
+	sum = onesSum(sum, dst[:])
+	sum += 17
+	sum += uint32(len(udp))
+	sum = onesSum(sum, udp)
+	return ^foldSum(sum)
+}

@@ -1,0 +1,987 @@
+package firmware
+
+import (
+	"fmt"
+
+	"repro/internal/assist"
+	"repro/internal/cpu"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Attribution buckets (cpu.Stream.AcctID). Locking is attributed within
+// buckets by the core's lock-sequence counters, giving the paper's eight
+// Table 5/6 rows: {Fetch BD, Frame, Dispatch+Ordering, Locking} × direction.
+const (
+	AcctFetchSendBD = iota
+	AcctSendFrame
+	AcctSendOrder
+	AcctFetchRecvBD
+	AcctRecvFrame
+	AcctRecvOrder
+	AcctIdle
+	NumAcct
+)
+
+// AcctNames labels the buckets.
+var AcctNames = [NumAcct]string{
+	"Fetch Send BD", "Send Frame", "Send Dispatch and Ordering",
+	"Fetch Receive BD", "Receive Frame", "Receive Dispatch and Ordering",
+	"Idle Poll",
+}
+
+// Event types, for the task-parallel baseline's event register and for
+// dispatch statistics.
+type evType int
+
+const (
+	evFetchSendBD evType = iota
+	evSendPrep
+	evSendDone
+	evSendCommit
+	evSendComplete
+	evFetchRecvBD
+	evRecvPrep
+	evRecvDone
+	evRecvCommit
+	evRecvComplete
+	numEvTypes
+)
+
+// Assists bundles the four hardware engines the firmware drives.
+type Assists struct {
+	DMARead  *assist.DMARead
+	DMAWrite *assist.DMAWrite
+	MACTx    *assist.MACTx
+	MACRx    *assist.MACRx
+}
+
+// slotRing is a fixed-slot SDRAM buffer allocator. Slot size is deliberately
+// not a multiple of 8 bytes so successive frames start at shifting
+// misaligned offsets, reproducing the paper's note that frames "frequently
+// are not stored ... such that they start and/or end on even 8-byte
+// boundaries".
+type slotRing struct {
+	base     uint32
+	slotSize uint32
+	free     []int
+}
+
+func newSlotRing(base uint32, slotSize uint32, slots int) *slotRing {
+	r := &slotRing{base: base, slotSize: slotSize}
+	for i := slots - 1; i >= 0; i-- {
+		r.free = append(r.free, i)
+	}
+	return r
+}
+
+func (r *slotRing) alloc() (addr uint32, slot int, ok bool) {
+	if len(r.free) == 0 {
+		return 0, 0, false
+	}
+	slot = r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	return r.base + uint32(slot)*r.slotSize, slot, true
+}
+
+func (r *slotRing) release(slot int) { r.free = append(r.free, slot) }
+
+func (r *slotRing) available() int { return len(r.free) }
+
+type sendFrame struct {
+	f    *host.Frame
+	idx  uint64
+	buf  uint32
+	slot int
+}
+
+type recvFrame struct {
+	f    *host.Frame
+	idx  uint64
+	buf  uint32
+	slot int
+	size int
+}
+
+// Firmware is the NIC firmware model: it owns the functional frame pipeline
+// state and supplies work (operation streams) to the cores.
+type Firmware struct {
+	Prof Profile
+	sp   *mem.Scratchpad
+	hst  *host.Host
+	as   Assists
+
+	sendFlags *mem.BitArray
+	recvFlags *mem.BitArray
+
+	txRing *slotRing
+	rxRing *slotRing
+
+	// Send pipeline.
+	sendSeq         uint64
+	bdFetchOut      int
+	txReserved      int
+	prepQ           []*sendFrame
+	sendDMADone     []*sendFrame
+	sendRing        []*sendFrame
+	sendSet         uint64 // flags set
+	sendCommitHead  uint64
+	sendCommitClaim bool
+	txDoneQ         []*sendFrame
+
+	// Receive pipeline.
+	recvSeq         uint64
+	rxArrivedQ      []*recvFrame
+	recvBDCredit    int
+	recvBDFetchOut  int
+	rxDMADone       []*recvFrame
+	recvRing        []*recvFrame
+	recvSet         uint64
+	recvCommitHead  uint64
+	recvCommitClaim bool
+	recvDoneQ       []*recvFrame
+
+	// Per-core continuation queues (segments of the current event).
+	cont [][]*cpu.Stream
+
+	// Task-parallel event register: one core per event type.
+	typeBusy [numEvTypes]bool
+
+	evSeq   uint64
+	seedCtr int64
+	claimRR int
+	nCores  int
+
+	// Statistics.
+	Events      [numEvTypes]stats.Counter
+	TxCommitted stats.Counter
+	RxDelivered stats.Counter
+	// OnTransmit observes transmitted frames (order validation).
+	OnTransmit func(f *host.Frame)
+}
+
+// New wires a firmware instance to the memory system, host, and assists,
+// and installs its callbacks on the assists.
+func New(prof Profile, sp *mem.Scratchpad, hst *host.Host, as Assists, nCores int, txSlots, rxSlots int) *Firmware {
+	fw := &Firmware{
+		Prof:      prof,
+		sp:        sp,
+		hst:       hst,
+		as:        as,
+		sendFlags: mem.NewBitArray(sp, FlagsSend, FlagBits),
+		recvFlags: mem.NewBitArray(sp, FlagsRecv, FlagBits),
+		// Slot size 1530: holds a maximum frame, not 8-byte aligned.
+		txRing:   newSlotRing(0x000000, 1530, txSlots),
+		rxRing:   newSlotRing(0x800000, 1530, rxSlots),
+		sendRing: make([]*sendFrame, FlagBits),
+		recvRing: make([]*recvFrame, FlagBits),
+		cont:     make([][]*cpu.Stream, nCores),
+		nCores:   nCores,
+	}
+	as.MACRx.Alloc = func(size int, handle any) (uint32, bool) {
+		addr, _, ok := fw.rxRing.alloc()
+		if !ok {
+			return 0, false
+		}
+		return addr, true
+	}
+	as.MACRx.OnReceive = func(buf uint32, size int, handle any) {
+		fr := &recvFrame{f: handle.(*host.Frame), idx: fw.recvSeq, buf: buf, size: size}
+		fw.recvSeq++
+		fw.recvRing[fr.idx%FlagBits] = fr
+		fr.slot = int((buf - fw.rxRing.base) / fw.rxRing.slotSize)
+		fw.rxArrivedQ = append(fw.rxArrivedQ, fr)
+	}
+	as.MACTx.OnTransmit = func(handle any) {
+		fr := handle.(*sendFrame)
+		fw.txDoneQ = append(fw.txDoneQ, fr)
+		if fw.OnTransmit != nil {
+			fw.OnTransmit(fr.f)
+		}
+	}
+	return fw
+}
+
+// Code-region base addresses of the firmware image. The handlers pack
+// contiguously into under 6 KB so the 8 KB per-core caches capture the whole
+// working set (distinct cache sets per handler) even as tasks migrate
+// between cores.
+const (
+	codeDispatchBase = 0x0000 // 1024 B
+	codeFetchBDBase  = 0x0400 // 1024 B
+	codeSendBase     = 0x0800 // 2816 B
+	codeRecvBase     = 0x1300 // 2816 B
+	codeOrderBase    = 0x1e00 // 1024 B
+)
+
+// NextWorkFor returns the dispatch closure for one core.
+func (fw *Firmware) NextWorkFor(coreID int) func() *cpu.Stream {
+	return func() *cpu.Stream { return fw.nextWork(coreID) }
+}
+
+// nextWork picks the next stream for a core: continuations of the current
+// event first, then new events by priority, then an idle poll pass.
+func (fw *Firmware) nextWork(coreID int) *cpu.Stream {
+	if q := fw.cont[coreID]; len(q) > 0 {
+		s := q[0]
+		fw.cont[coreID] = q[1:]
+		return s
+	}
+	// Commits always go first (they unblock both pipelines and are cheap);
+	// the remaining claims rotate round-robin so neither direction starves
+	// the other.
+	head := []claim{
+		{evRecvCommit, fw.claimRecvCommit},
+		{evSendCommit, fw.claimSendCommit},
+	}
+	rotating := []claim{
+		{evRecvDone, fw.claimRecvDone},
+		{evSendDone, fw.claimSendDone},
+		{evRecvPrep, fw.claimRecvPrep},
+		{evSendPrep, fw.claimSendPrep},
+		{evRecvComplete, fw.claimRecvComplete},
+		{evSendComplete, fw.claimSendComplete},
+		{evFetchRecvBD, fw.claimFetchRecvBD},
+		{evFetchSendBD, fw.claimFetchSendBD},
+	}
+	try := func(c claim) *cpu.Stream {
+		g := eventGroup[c.t]
+		if fw.Prof.Parallelism == TaskParallel && fw.typeBusy[g] {
+			return nil
+		}
+		s := c.f(coreID)
+		if s == nil {
+			return nil
+		}
+		fw.Events[c.t].Inc()
+		if fw.Prof.Parallelism == TaskParallel {
+			fw.typeBusy[g] = true
+			fw.markRelease(coreID, g, s)
+		}
+		return s
+	}
+	for _, c := range head {
+		if s := try(c); s != nil {
+			return s
+		}
+	}
+	fw.claimRR++
+	for i := 0; i < len(rotating); i++ {
+		if s := try(rotating[(i+fw.claimRR)%len(rotating)]); s != nil {
+			return s
+		}
+	}
+	return fw.pollStream(coreID)
+}
+
+type claim struct {
+	t evType
+	f func(int) *cpu.Stream
+}
+
+// eventGroup maps fine-grained work units onto the Tigon-II event-register
+// bits the task-parallel baseline serializes on. The event register has one
+// bit per hardware event type — all send-frame processing is one handler, as
+// is all receive-frame processing — which is exactly why task-level
+// parallelism cannot use many cores ("so long as a processor is engaged in
+// handling a specific type of event, no other processor can simultaneously
+// handle that same type of event").
+var eventGroup = [numEvTypes]evType{
+	evFetchSendBD:  evFetchSendBD,
+	evSendPrep:     evSendPrep, // the send-frame handler bit
+	evSendDone:     evSendPrep,
+	evSendCommit:   evSendPrep,
+	evSendComplete: evSendPrep,
+	evFetchRecvBD:  evFetchRecvBD,
+	evRecvPrep:     evRecvPrep, // the receive-frame handler bit
+	evRecvDone:     evRecvPrep,
+	evRecvCommit:   evRecvPrep,
+	evRecvComplete: evRecvPrep,
+}
+
+// markRelease clears a task-parallel busy flag when the event's final
+// segment finishes.
+func (fw *Firmware) markRelease(coreID int, g evType, first *cpu.Stream) {
+	last := first
+	if q := fw.cont[coreID]; len(q) > 0 {
+		last = q[len(q)-1]
+	}
+	prev := last.OnDone
+	last.OnDone = func() {
+		if prev != nil {
+			prev()
+		}
+		fw.typeBusy[g] = false
+	}
+}
+
+// batch limits per-event frame counts; the task-parallel baseline processes
+// everything pending of a type at once (its handlers are not reentrant).
+func (fw *Firmware) batch(avail int) int {
+	max := fw.Prof.EventBatch
+	if fw.Prof.Parallelism == TaskParallel {
+		max = 4 * fw.Prof.EventBatch
+	}
+	if avail < max {
+		return avail
+	}
+	return max
+}
+
+// seed returns a fresh deterministic stream seed.
+func (fw *Firmware) seed() int64 {
+	fw.seedCtr++
+	return fw.seedCtr
+}
+
+// eventAddr returns the scratchpad address of the next event structure.
+func (fw *Firmware) eventAddr() uint32 {
+	a := RegionEvents + uint32(fw.evSeq%512)*32
+	fw.evSeq++
+	return a
+}
+
+// addrCycle builds an address function cycling through the given word
+// bases, advancing by words within each base on each full cycle.
+func addrCycle(bases ...uint32) func(i int) uint32 {
+	n := len(bases)
+	return func(i int) uint32 {
+		return bases[i%n] + uint32((i/n)%8)*4
+	}
+}
+
+// desc returns the offset of a frame's stage block within its direction's
+// descriptor region.
+func desc(idx uint64, stage uint32) uint32 {
+	return uint32(idx%DescEntries)*DescStride + stage
+}
+
+// odd selects the odd-index bases (the writable per-frame descriptors from
+// interleaved BD/descriptor base lists).
+func odd(bases []uint32) []uint32 {
+	var out []uint32
+	for i := 1; i < len(bases); i += 2 {
+		out = append(out, bases[i])
+	}
+	return out
+}
+
+// offset shifts every base by off bytes (stage-private store sub-blocks).
+func offset(bases []uint32, off uint32) []uint32 {
+	out := make([]uint32, len(bases))
+	for i, b := range bases {
+		out[i] = b + off
+	}
+	return out
+}
+
+// addrWalk cycles through the bases advancing without wrapping: mostly
+// single-touch accesses, the dominant pattern in NIC frame metadata ("there
+// is little locality in network interface firmware").
+func addrWalk(bases ...uint32) func(i int) uint32 {
+	n := len(bases)
+	return func(i int) uint32 {
+		return bases[i%n] + uint32(i/n)*4
+	}
+}
+
+// dispatchStream charges the per-event dispatch cost: inspecting hardware
+// pointers, building the event structure, and inserting it into the shared
+// event queue under the queue lock (software-raised events and retries flow
+// through the same queue, so every dispatch synchronizes on it).
+func (fw *Firmware) dispatchStream(acct int) *cpu.Stream {
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	ev := fw.eventAddr()
+	b.cost(fw.Prof.DispatchPerEvent, addrCycle(ev, PtrDMARead, PtrMACRx))
+	b.lock(LockEventQ, nil)
+	b.alu(3)
+	b.load(ev)
+	b.store(ev)
+	b.unlock(LockEventQ, nil)
+	return b.build("dispatch", codeDispatchBase, fw.Prof.CodeDispatch, acct, nil)
+}
+
+// pollStream is an unproductive pass over the hardware pointers. In the
+// software-only firmware the dispatch loop must also check the status-flag
+// arrays for committable runs, which takes the ordering locks and scans flag
+// words — the "synchronized, looping memory accesses" the paper identifies
+// as a significant overhead. The update instruction eliminates exactly these
+// scans, so the RMW-enhanced poll touches only the hardware pointers.
+func (fw *Firmware) pollStream(coreID int) *cpu.Stream {
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	b.cost(fw.Prof.PollPass, addrCycle(PtrMailbox, PtrDMARead, PtrDMAWrite, PtrMACTx, PtrMACRx, PtrRecvBDPool))
+	if fw.Prof.Ordering == SoftwareOnly {
+		for _, d := range []struct {
+			lock uint32
+			base uint32
+			head uint64
+		}{
+			{LockSendOrd, FlagsSend, fw.sendCommitHead},
+			{LockRecvOrd, FlagsRecv, fw.recvCommitHead},
+		} {
+			word := d.base + uint32((d.head%FlagBits)/32)*4
+			b.lock(d.lock, nil)
+			b.alu(3)
+			b.load(word)
+			b.alu(3)
+			b.load(word + 4)
+			b.alu(2)
+			b.unlock(d.lock, nil)
+		}
+	}
+	return b.build("poll", codeDispatchBase, fw.Prof.CodeDispatch, AcctIdle, nil)
+}
+
+// chain returns the first stream and queues the rest as continuations.
+func (fw *Firmware) chain(coreID int, streams ...*cpu.Stream) *cpu.Stream {
+	fw.cont[coreID] = append(fw.cont[coreID], streams[1:]...)
+	return streams[0]
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+// claimFetchSendBD starts a send-descriptor batch fetch: the paper's "Fetch
+// Send BD" task, one DMA of up to 32 descriptors (16 frames).
+func (fw *Firmware) claimFetchSendBD(coreID int) *cpu.Stream {
+	if fw.bdFetchOut >= 2 || fw.hst.PostedSendBDs() < 2 || len(fw.prepQ) > 256 {
+		return nil
+	}
+	nBDs := fw.hst.PostedSendBDs()
+	if nBDs > SendBDsPerBatch {
+		nBDs = SendBDsPerBatch
+	}
+	nBDs &^= 1 // whole frames only
+	if nBDs == 0 {
+		return nil
+	}
+	fw.bdFetchOut++
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	base := RegionSendBD + uint32(fw.sendSeq%2048)*16
+	b.cost(fw.Prof.FetchSendBDBatch.scale(float64(nBDs)/SendBDsPerBatch), addrCycle(base, base+16, base+32))
+	b.lock(LockSendBD, nil)
+	b.alu(4)
+	b.store(base)
+	b.unlock(LockSendBD, nil)
+	b.then(func() {
+		fw.as.DMARead.FetchBDs(nBDs*SendBDWords, base, func() {
+			bds := fw.hst.TakeSendBDs(nBDs)
+			for i := 0; i+1 < len(bds); i += 2 {
+				fr := &sendFrame{f: bds[i].Frame, idx: fw.sendSeq}
+				fw.sendSeq++
+				fw.sendRing[fr.idx%FlagBits] = fr
+				fw.prepQ = append(fw.prepQ, fr)
+			}
+			fw.bdFetchOut--
+		})
+	})
+	work := b.build("fetch-send-bd", codeFetchBDBase, fw.Prof.CodeFetchBD, AcctFetchSendBD, nil)
+	return fw.chain(coreID, fw.dispatchStream(AcctSendOrder), work)
+}
+
+// claimSendPrep processes fetched descriptors: reads BDs, allocates transmit
+// buffer space, and programs the DMA read engine — "Send Frame" part one.
+func (fw *Firmware) claimSendPrep(coreID int) *cpu.Stream {
+	if len(fw.prepQ) == 0 {
+		return nil
+	}
+	n := fw.batch(len(fw.prepQ))
+	if free := fw.txRing.available() - fw.txReserved; free < n {
+		n = free
+	}
+	if n <= 0 {
+		return nil
+	}
+	fw.txReserved += n
+	frames := append([]*sendFrame(nil), fw.prepQ[:n]...)
+	fw.prepQ = fw.prepQ[n:]
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	bases := make([]uint32, 0, 2*n)
+	for _, fr := range frames {
+		bases = append(bases,
+			RegionSendBD+uint32(fr.idx%2048)*16,
+			RegionSendDesc+desc(fr.idx, DescStagePrep))
+	}
+	b.cost2(fw.Prof.SendFramePrep.scale(float64(n)), addrWalk(bases...), addrWalk(odd(bases)...))
+	// Transmit-buffer allocation: the lock is held across the per-frame
+	// allocation loop, as in the Tigon-derived firmware, so concurrent
+	// send-prepare events on other cores serialize here.
+	b.lock(LockTxAlloc, nil)
+	for i := 0; i < n; i++ {
+		b.alu(4)
+		b.load(PtrDMARead)
+		b.store(bases[i%len(bases)])
+	}
+	b.unlock(LockTxAlloc, nil)
+	b.then(func() {
+		fw.txReserved -= len(frames)
+		for _, fr := range frames {
+			addr, slot, ok := fw.txRing.alloc()
+			if !ok {
+				panic("firmware: tx ring underflow despite reservation")
+			}
+			fr.buf, fr.slot = addr, slot
+			f := fr
+			fw.as.DMARead.FetchFrame(addr, host.HeaderBytes, f.f.Size-host.HeaderBytes, func() {
+				fw.sendDMADone = append(fw.sendDMADone, f)
+			})
+		}
+	})
+	work := b.build("send-prep", codeSendBase, fw.Prof.CodeSendFrame, AcctSendFrame, nil)
+	return fw.chain(coreID, fw.dispatchStream(AcctSendOrder), work)
+}
+
+// claimSendDone processes frame-DMA completions and marks each frame's
+// status flag — "Send Frame" part two plus the ordering set.
+func (fw *Firmware) claimSendDone(coreID int) *cpu.Stream {
+	if len(fw.sendDMADone) == 0 {
+		return nil
+	}
+	n := fw.batch(len(fw.sendDMADone))
+	frames := append([]*sendFrame(nil), fw.sendDMADone[:n]...)
+	fw.sendDMADone = fw.sendDMADone[n:]
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	bases := make([]uint32, 0, n)
+	for _, fr := range frames {
+		bases = append(bases, RegionSendDesc+desc(fr.idx, DescStageDone))
+	}
+	b.cost2(fw.Prof.SendFrameDone.add(fw.Prof.ExtensionPerFrame).scale(float64(n)), addrWalk(bases...), addrWalk(offset(bases, DescStageDoneStore-DescStageDone)...))
+	work := b.build("send-done", codeSendBase, fw.Prof.CodeSendFrame, AcctSendFrame, nil)
+
+	ord := fw.orderingSetStream(true, frames, nil)
+	return fw.chain(coreID, fw.dispatchStream(AcctSendOrder), work, ord)
+}
+
+// claimSendCommit advances the in-order commit point and hands consecutive
+// ready frames to the MAC — the dispatch-loop commit of the paper.
+func (fw *Firmware) claimSendCommit(coreID int) *cpu.Stream {
+	if fw.sendCommitClaim || fw.sendSet == fw.sendCommitHead {
+		return nil
+	}
+	ready := fw.consecutiveReady(fw.sendFlags, fw.sendCommitHead)
+	if ready == 0 {
+		return nil
+	}
+	fw.sendCommitClaim = true
+	return fw.commitStream(coreID, true, ready)
+}
+
+// claimSendComplete handles transmit completions: frees buffer space and
+// notifies the host — "Send Frame" part three.
+func (fw *Firmware) claimSendComplete(coreID int) *cpu.Stream {
+	if len(fw.txDoneQ) == 0 {
+		return nil
+	}
+	n := fw.batch(len(fw.txDoneQ))
+	frames := append([]*sendFrame(nil), fw.txDoneQ[:n]...)
+	fw.txDoneQ = fw.txDoneQ[n:]
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	bases := make([]uint32, 0, n)
+	for _, fr := range frames {
+		bases = append(bases, RegionSendDesc+desc(fr.idx, DescStageComplete))
+	}
+	b.cost2(fw.Prof.SendFrameComplete.scale(float64(n)), addrWalk(bases...), addrWalk(offset(bases, DescStageCompleteStore-DescStageComplete)...))
+	// Host notification: the consumer-index updates for the batch happen
+	// under one lock hold.
+	b.lock(LockHostNtfy, nil)
+	for i := 0; i < n; i++ {
+		b.alu(3)
+		b.store(PtrMACTx)
+	}
+	b.unlock(LockHostNtfy, nil)
+	b.then(func() {
+		for _, fr := range frames {
+			fw.txRing.release(fr.slot)
+		}
+		fw.hst.CompleteSend(len(frames))
+	})
+	work := b.build("send-complete", codeSendBase, fw.Prof.CodeSendFrame, AcctSendFrame, nil)
+	return fw.chain(coreID, fw.dispatchStream(AcctSendOrder), work)
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+// claimFetchRecvBD replenishes the receive-buffer descriptor pool: "Fetch
+// Receive BD", one DMA of up to 16 descriptors.
+func (fw *Firmware) claimFetchRecvBD(coreID int) *cpu.Stream {
+	if fw.recvBDFetchOut >= 2 || fw.recvBDCredit > 128 || fw.hst.PostedRecvBDs() == 0 {
+		return nil
+	}
+	n := fw.hst.PostedRecvBDs()
+	if n > RecvBDsPerBatch {
+		n = RecvBDsPerBatch
+	}
+	fw.recvBDFetchOut++
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	base := RegionRecvBD + uint32(fw.recvSeq%2048)*16
+	b.cost(fw.Prof.FetchRecvBDBatch.scale(float64(n)/RecvBDsPerBatch), addrCycle(base, base+16))
+	b.lock(LockRecvBD, nil)
+	b.alu(4)
+	b.store(base)
+	b.unlock(LockRecvBD, nil)
+	b.then(func() {
+		fw.as.DMARead.FetchBDs(n*RecvBDWords, base, func() {
+			fw.recvBDCredit += fw.hst.TakeRecvBDs(n)
+			fw.recvBDFetchOut--
+		})
+	})
+	work := b.build("fetch-recv-bd", codeFetchBDBase, fw.Prof.CodeFetchBD, AcctFetchRecvBD, nil)
+	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
+}
+
+// claimRecvPrep matches arrived frames with receive buffers and programs the
+// DMA write engine — "Receive Frame" part one.
+func (fw *Firmware) claimRecvPrep(coreID int) *cpu.Stream {
+	if len(fw.rxArrivedQ) == 0 || fw.recvBDCredit == 0 {
+		return nil
+	}
+	n := fw.batch(len(fw.rxArrivedQ))
+	if n > fw.recvBDCredit {
+		n = fw.recvBDCredit
+	}
+	frames := append([]*recvFrame(nil), fw.rxArrivedQ[:n]...)
+	fw.rxArrivedQ = fw.rxArrivedQ[n:]
+	fw.recvBDCredit -= n
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	bases := make([]uint32, 0, 2*n)
+	for _, fr := range frames {
+		bases = append(bases,
+			RegionRecvBD+uint32(fr.idx%2048)*16,
+			RegionRecvDesc+desc(fr.idx, DescStagePrep))
+	}
+	b.cost2(fw.Prof.RecvFramePrep.scale(float64(n)), addrWalk(bases...), addrWalk(odd(bases)...))
+	// Receive-buffer pool bookkeeping holds the pool lock across the
+	// per-frame matching loop. The paper singles this lock out: contention
+	// on "a lock in the receive path" limits the RMW-enhanced
+	// configuration's peak frame rate.
+	b.lock(LockRxPool, nil)
+	for i := 0; i < n; i++ {
+		b.alu(4)
+		b.load(PtrRecvBDPool)
+		b.store(bases[i%len(bases)])
+	}
+	b.unlock(LockRxPool, nil)
+	b.then(func() {
+		for _, fr := range frames {
+			f := fr
+			fw.as.DMAWrite.WriteFrame(f.buf, f.size, nil)
+			fw.as.DMAWrite.WriteDescriptor(RegionRecvDesc+desc(f.idx, DescDMA), RecvBDWords, func() {
+				fw.rxDMADone = append(fw.rxDMADone, f)
+			})
+		}
+	})
+	work := b.build("recv-prep", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
+	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
+}
+
+// claimRecvDone processes host-DMA completions and sets status flags —
+// "Receive Frame" part two plus the ordering set.
+func (fw *Firmware) claimRecvDone(coreID int) *cpu.Stream {
+	if len(fw.rxDMADone) == 0 {
+		return nil
+	}
+	n := fw.batch(len(fw.rxDMADone))
+	frames := append([]*recvFrame(nil), fw.rxDMADone[:n]...)
+	fw.rxDMADone = fw.rxDMADone[n:]
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	bases := make([]uint32, 0, n)
+	for _, fr := range frames {
+		bases = append(bases, RegionRecvDesc+desc(fr.idx, DescStageDone))
+	}
+	b.cost2(fw.Prof.RecvFrameDone.add(fw.Prof.ExtensionPerFrame).scale(float64(n)), addrWalk(bases...), addrWalk(offset(bases, DescStageDoneStore-DescStageDone)...))
+	work := b.build("recv-done", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
+
+	ord := fw.orderingSetStream(false, nil, frames)
+	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work, ord)
+}
+
+// claimRecvCommit advances the receive commit point, delivering consecutive
+// frames to the host in arrival order.
+func (fw *Firmware) claimRecvCommit(coreID int) *cpu.Stream {
+	if fw.recvCommitClaim || fw.recvSet == fw.recvCommitHead {
+		return nil
+	}
+	ready := fw.consecutiveReady(fw.recvFlags, fw.recvCommitHead)
+	if ready == 0 {
+		return nil
+	}
+	fw.recvCommitClaim = true
+	return fw.commitStream(coreID, false, ready)
+}
+
+// claimRecvComplete frees receive buffer slots after delivery — "Receive
+// Frame" part three.
+func (fw *Firmware) claimRecvComplete(coreID int) *cpu.Stream {
+	if len(fw.recvDoneQ) == 0 {
+		return nil
+	}
+	n := fw.batch(len(fw.recvDoneQ))
+	frames := append([]*recvFrame(nil), fw.recvDoneQ[:n]...)
+	fw.recvDoneQ = fw.recvDoneQ[n:]
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	bases := make([]uint32, 0, n)
+	for _, fr := range frames {
+		bases = append(bases, RegionRecvDesc+desc(fr.idx, DescStageComplete))
+	}
+	b.cost2(fw.Prof.RecvFrameComplete.scale(float64(n)), addrWalk(bases...), addrWalk(offset(bases, DescStageCompleteStore-DescStageComplete)...))
+	b.lock(LockRxPool, nil)
+	for i := 0; i < n; i++ {
+		b.alu(3)
+		b.store(PtrRecvBDPool)
+	}
+	b.unlock(LockRxPool, nil)
+	b.then(func() {
+		for _, fr := range frames {
+			fw.rxRing.release(fr.slot)
+		}
+	})
+	work := b.build("recv-complete", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
+	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
+}
+
+// ---------------------------------------------------------------------------
+// Ordering
+// ---------------------------------------------------------------------------
+
+// consecutiveReady counts consecutive set flags from the commit head,
+// functionally (the timing cost is charged by the commit stream's ops).
+func (fw *Firmware) consecutiveReady(ba *mem.BitArray, head uint64) int {
+	n := 0
+	for n < FlagBits && ba.IsSet(int((head+uint64(n))%FlagBits)) {
+		n++
+	}
+	return n
+}
+
+// orderingSetStream builds the per-frame status-flag set segment: the
+// lock-protected read-modify-write sequence in software-only mode, or one
+// atomic set instruction in RMW mode. Exactly one of sf/rf is non-nil.
+func (fw *Firmware) orderingSetStream(send bool, sf []*sendFrame, rf []*recvFrame) *cpu.Stream {
+	flags := fw.recvFlags
+	lockAddr := uint32(LockRecvOrd)
+	acct := AcctRecvOrder
+	if send {
+		flags = fw.sendFlags
+		lockAddr = LockSendOrd
+		acct = AcctSendOrder
+	}
+	n := len(sf) + len(rf)
+	idxOf := func(i int) uint64 {
+		if send {
+			return sf[i].idx
+		}
+		return rf[i].idx
+	}
+	wordAddr := func(i int) uint32 {
+		base := uint32(FlagsRecv)
+		if send {
+			base = FlagsSend
+		}
+		return base + uint32((idxOf(i)%FlagBits)/32)*4
+	}
+	setFlag := func(i int) {
+		flags.Set(int(idxOf(i) % FlagBits))
+		if send {
+			fw.sendSet++
+		} else {
+			fw.recvSet++
+		}
+	}
+
+	syncOrder := fw.Prof.SyncOrderRecv
+	syncLock := fw.Prof.SyncLockRecv
+	if send {
+		syncOrder = fw.Prof.SyncOrderSend
+		syncLock = fw.Prof.SyncLockSend
+	}
+	// Task-level parallel firmware never runs a handler on two cores at
+	// once, so it pays no reentrancy synchronization (its handlers are not
+	// reentrant; that is exactly what caps its scaling).
+	extra := n * (fw.nCores - 1)
+	if fw.Prof.Parallelism == TaskParallel {
+		extra = 0
+	}
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	if fw.Prof.Ordering == SoftwareOnly {
+		// The measured sw_set kernel, per frame: lock acquire (ll/bnez/
+		// addiu/sc/beqz/nop emerge from OpLock), index arithmetic, word
+		// read-modify-write, release. This per-frame synchronization is
+		// exactly the overhead the paper's set instruction removes.
+		for i := 0; i < n; i++ {
+			i := i
+			b.lock(lockAddr, nil)
+			b.alu(3)
+			b.load(wordAddr(i))
+			b.alu(4)
+			b.store(wordAddr(i))
+			b.then(func() { setFlag(i) })
+			b.unlock(lockAddr, nil)
+			b.alu(2)
+		}
+		// Reentrancy synchronization against every other active core's
+		// concurrent handlers (removed entirely by the RMW instructions).
+		b.cost(syncOrder.scale(float64(extra)), addrCycle(wordAddr(0), lockAddr))
+	} else {
+		for i := 0; i < n; i++ {
+			i := i
+			// setb: one atomic transaction, plus return linkage.
+			b.rmw(wordAddr(i), func() { setFlag(i) })
+			b.alu(2)
+		}
+	}
+	// The lock-based share of reentrancy synchronization remains under
+	// either ordering implementation and is real locking work: acquire and
+	// release rounds on the direction's pool/notify lock. Under RMW it
+	// grows: "contention among the remaining firmware locks increases. This
+	// problem is particularly troublesome for a lock in the receive path."
+	if fw.Prof.Ordering == RMWEnhanced {
+		syncLock = syncLock.scale(1.5)
+	}
+	poolLock := uint32(LockRxPool)
+	if send {
+		poolLock = LockHostNtfy
+	}
+	// Each uncontended round costs ~8 instructions (6-instruction acquire,
+	// release store, linkage), so rounds approximate the budgeted share.
+	rounds := extra * syncLock.Instr / 8
+	for r := 0; r < rounds; r++ {
+		b.lock(poolLock, nil)
+		b.unlock(poolLock, nil)
+	}
+	return b.build("ordering-set", codeOrderBase, fw.Prof.CodeOrdering, acct, nil)
+}
+
+// commitStream builds the in-order commit: the software-only scan clears
+// ready flags one lock-protected word access at a time; the RMW version is a
+// single atomic update. Commit actions (handing frames to the MAC or to the
+// host) run serialized inside the final memory transaction's completion.
+func (fw *Firmware) commitStream(coreID int, send bool, ready int) *cpu.Stream {
+	acct := AcctRecvOrder
+	lockAddr := uint32(LockRecvOrd)
+	flagBase := uint32(FlagsRecv)
+	hwPtr := uint32(PtrDMAWrite)
+	head := fw.recvCommitHead
+	if send {
+		acct = AcctSendOrder
+		lockAddr = LockSendOrd
+		flagBase = FlagsSend
+		hwPtr = PtrMACTx
+		head = fw.sendCommitHead
+	}
+
+	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+	b.cost(fw.Prof.CommitPerEvent, addrCycle(fw.eventAddr(), hwPtr))
+
+	wordAt := func(k uint64) uint32 {
+		return flagBase + uint32((k%FlagBits)/32)*4
+	}
+
+	if fw.Prof.Ordering == SoftwareOnly {
+		b.lock(lockAddr, nil)
+		b.load(wordAt(head)) // read head pointer word
+		for i := 0; i < ready; i++ {
+			// Scan iteration: index math, load word, test, clear, store.
+			b.alu(3)
+			b.load(wordAt(head + uint64(i)))
+			b.alu(4)
+			b.store(wordAt(head + uint64(i)))
+		}
+		// Terminating iteration (bit clear) plus head and pointer stores.
+		b.alu(6)
+		b.store(hwPtr)
+		b.then(func() { fw.commit(send, ready) })
+		b.unlock(lockAddr, nil)
+		b.alu(2)
+	} else {
+		// upd: one atomic transaction bounded to a single word; commit what
+		// it actually cleared, then publish the hardware pointer.
+		b.rmw(wordAt(head), func() {
+			ba := fw.recvFlags
+			if send {
+				ba = fw.sendFlags
+			}
+			_, k := ba.Update()
+			fw.commitCleared(send, k)
+		})
+		b.alu(2)
+		b.store(hwPtr)
+		b.alu(2)
+	}
+	done := func() {
+		if send {
+			fw.sendCommitClaim = false
+		} else {
+			fw.recvCommitClaim = false
+		}
+	}
+	return b.build("commit", codeOrderBase, fw.Prof.CodeOrdering, acct, done)
+}
+
+// commit clears n flags through the bit array (software scan semantics) and
+// applies the commit actions.
+func (fw *Firmware) commit(send bool, n int) {
+	ba := fw.recvFlags
+	if send {
+		ba = fw.sendFlags
+	}
+	cleared := 0
+	for cleared < n {
+		_, k := ba.Update()
+		if k == 0 {
+			break
+		}
+		cleared += k
+	}
+	fw.commitCleared(send, cleared)
+}
+
+// commitCleared hands k consecutive frames past the commit head to the next
+// stage, in order.
+func (fw *Firmware) commitCleared(send bool, k int) {
+	for i := 0; i < k; i++ {
+		if send {
+			fr := fw.sendRing[fw.sendCommitHead%FlagBits]
+			if fr == nil {
+				panic(fmt.Sprintf("firmware: committing absent send frame %d", fw.sendCommitHead))
+			}
+			fw.sendRing[fw.sendCommitHead%FlagBits] = nil
+			fw.sendCommitHead++
+			fw.TxCommitted.Inc()
+			fw.as.MACTx.Send(fr.buf, fr.f.Size, fr)
+		} else {
+			fr := fw.recvRing[fw.recvCommitHead%FlagBits]
+			if fr == nil {
+				panic(fmt.Sprintf("firmware: committing absent receive frame %d", fw.recvCommitHead))
+			}
+			fw.recvRing[fw.recvCommitHead%FlagBits] = nil
+			fw.recvCommitHead++
+			fw.RxDelivered.Inc()
+			fw.hst.DeliverFrame(fr.f)
+			fw.recvDoneQ = append(fw.recvDoneQ, fr)
+		}
+	}
+}
+
+// Debug summarizes internal pipeline state for diagnostics.
+func (fw *Firmware) Debug() string {
+	return fmt.Sprintf(
+		"send: seq=%d prepQ=%d dmaDone=%d set=%d commitHead=%d claim=%v txDoneQ=%d bdOut=%d txFree=%d\n"+
+			"recv: seq=%d arrived=%d credit=%d dmaDone=%d set=%d commitHead=%d claim=%v doneQ=%d bdOut=%d rxFree=%d\n"+
+			"events: %v",
+		fw.sendSeq, len(fw.prepQ), len(fw.sendDMADone), fw.sendSet, fw.sendCommitHead, fw.sendCommitClaim, len(fw.txDoneQ), fw.bdFetchOut, fw.txRing.available(),
+		fw.recvSeq, len(fw.rxArrivedQ), fw.recvBDCredit, len(fw.rxDMADone), fw.recvSet, fw.recvCommitHead, fw.recvCommitClaim, len(fw.rxDMADone), fw.recvBDFetchOut, fw.rxRing.available(),
+		fw.Events)
+}

@@ -1,0 +1,135 @@
+package fwkernels
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestMeasureBasicShape(t *testing.T) {
+	res, err := Measure(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The RMW set is a single instruction plus return linkage; software set
+	// must be several times larger (lock acquire + read-modify-write +
+	// release).
+	if res.RMWSet.Instructions >= res.SWSet.Instructions {
+		t.Errorf("RMW set (%v instr) not cheaper than software set (%v)",
+			res.RMWSet.Instructions, res.SWSet.Instructions)
+	}
+	if res.RMWCommit.Instructions >= res.SWCommit.Instructions {
+		t.Errorf("RMW commit (%v) not cheaper than software commit (%v)",
+			res.RMWCommit.Instructions, res.SWCommit.Instructions)
+	}
+	// Paper: RMW replaces looping memory accesses; the pure ordering-kernel
+	// reduction is necessarily at least the 50% the paper reports for whole
+	// dispatch functions.
+	if r := res.InstructionReduction(); r < 0.5 || r > 1 {
+		t.Errorf("instruction reduction = %.3f, want in [0.5, 1)", r)
+	}
+	if r := res.MemAccessReduction(); r < 0.5 || r > 1 {
+		t.Errorf("memory access reduction = %.3f, want in [0.5, 1)", r)
+	}
+}
+
+func TestMeasureExactSoftwareSetCost(t *testing.T) {
+	// The uncontended software flag set is deterministic: 6-instruction
+	// lock acquire (ll, bnez, addiu, sc, beqz, nop), 9-instruction
+	// read-modify-write of the flag word, release store, jr, nop.
+	res, err := Measure(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SWSet.Instructions != 18 {
+		t.Errorf("software set instructions = %v, want 18", res.SWSet.Instructions)
+	}
+	if res.SWSet.MemAccesses != 5 {
+		t.Errorf("software set accesses = %v, want 5 (ll, sc, lw, sw, release)", res.SWSet.MemAccesses)
+	}
+	if res.RMWSet.Instructions != 3 {
+		t.Errorf("RMW set instructions = %v, want 3 (setb, jr, nop)", res.RMWSet.Instructions)
+	}
+	if res.RMWSet.MemAccesses != 1 {
+		t.Errorf("RMW set accesses = %v, want 1", res.RMWSet.MemAccesses)
+	}
+}
+
+func TestCommitAmortizationImprovesWithRunLength(t *testing.T) {
+	short, err := Measure(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Measure(64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.SWCommit.Instructions >= short.SWCommit.Instructions {
+		t.Errorf("software commit per frame did not amortize: run1=%v run16=%v",
+			short.SWCommit.Instructions, long.SWCommit.Instructions)
+	}
+	if long.RMWCommit.Instructions >= short.RMWCommit.Instructions {
+		t.Errorf("RMW commit per frame did not amortize: run1=%v run16=%v",
+			short.RMWCommit.Instructions, long.RMWCommit.Instructions)
+	}
+}
+
+func TestMeasureRejectsBadArguments(t *testing.T) {
+	if _, err := Measure(10, 3); err == nil {
+		t.Error("Measure accepted non-multiple frame count")
+	}
+	if _, err := Measure(0, 1); err == nil {
+		t.Error("Measure accepted zero frames")
+	}
+}
+
+func TestOrderingTraceHasExpectedMix(t *testing.T) {
+	tr, err := OrderingTrace(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	kinds := map[trace.Kind]int{}
+	for _, r := range tr {
+		kinds[r.Kind]++
+	}
+	if kinds[trace.Load] == 0 || kinds[trace.Store] == 0 || kinds[trace.Branch] == 0 || kinds[trace.Jump] == 0 {
+		t.Errorf("trace kinds incomplete: %v", kinds)
+	}
+	// Every load/store in the ordering kernels targets the shared metadata
+	// region.
+	for _, r := range tr {
+		if (r.Kind == trace.Load || r.Kind == trace.Store) && (r.Addr < 0x8000 || r.Addr > 0x9000) {
+			t.Fatalf("access outside metadata region: %#x", r.Addr)
+		}
+	}
+}
+
+func TestMustMeasurePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMeasure did not panic")
+		}
+	}()
+	MustMeasure(10, 3)
+}
+
+func TestResultsReductionArithmetic(t *testing.T) {
+	r := Results{
+		SWSet:     PerItem{Instructions: 18, MemAccesses: 5},
+		SWCommit:  PerItem{Instructions: 18, MemAccesses: 3},
+		RMWSet:    PerItem{Instructions: 3, MemAccesses: 1},
+		RMWCommit: PerItem{Instructions: 6, MemAccesses: 1},
+	}
+	if got := r.PerFrameSW().Instructions; got != 36 {
+		t.Errorf("PerFrameSW instructions = %v", got)
+	}
+	if got := r.InstructionReduction(); got != 0.75 {
+		t.Errorf("InstructionReduction = %v, want 0.75", got)
+	}
+	if got := r.MemAccessReduction(); got != 0.75 {
+		t.Errorf("MemAccessReduction = %v, want 0.75", got)
+	}
+}

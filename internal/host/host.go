@@ -1,0 +1,242 @@
+// Package host models the server side of the NIC: main memory reached over
+// the host interconnect, and the device driver that produces send buffer
+// descriptors, preallocates receive buffers, and rings the NIC's mailbox
+// doorbells.
+//
+// Following the paper, the interconnect's bandwidth is not modeled ("since
+// server I/O interconnect standards are continually evolving, the bandwidth
+// and latency of the I/O interconnect are not modeled"); what matters to the
+// NIC is that every DMA suffers a long host round-trip latency, which this
+// package applies uniformly.
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/stats"
+)
+
+// Frame is one Ethernet frame travelling through the system. Wire holds the
+// full serialized frame (including CRC) when the workload is configured to
+// carry real bytes; timing-only studies leave it nil.
+type Frame struct {
+	Seq     uint64
+	UDPSize int
+	Size    int // on-wire frame size including CRC
+	Wire    []byte
+}
+
+// HeaderBytes is the discontiguous header region of a sent frame: Ethernet,
+// IPv4, and UDP headers live in one host buffer and the payload in another,
+// so every transmitted frame takes two buffer descriptors (paper §2.1).
+const HeaderBytes = ethernet.HeaderBytes + ethernet.IPv4HeaderBytes + ethernet.UDPHeaderBytes // 42
+
+// A SendBD describes one host memory region of a frame to transmit.
+type SendBD struct {
+	Frame *Frame
+	Len   int
+	Last  bool // true on the final (payload) descriptor of a frame
+}
+
+// SendSource supplies the transmit workload. Next returns the next frame the
+// driver wants to send, or nil if none is ready at this instant.
+type SendSource interface {
+	Next() *Frame
+}
+
+// Config sizes the host model.
+type Config struct {
+	// DMALatencyCycles is the host round-trip latency in host clock cycles.
+	DMALatencyCycles int
+	// SendRing is the send descriptor ring capacity in frames.
+	SendRing int
+	// RecvRing is the number of receive buffers the driver keeps posted.
+	RecvRing int
+	// PostBatch bounds descriptors posted per driver tick.
+	PostBatch int
+}
+
+// DefaultConfig returns a configuration matched to the paper's environment:
+// a ~1 µs DMA round trip at the 133 MHz host interface clock and rings deep
+// enough to cover it ("several hundred outstanding frames").
+func DefaultConfig() Config {
+	return Config{DMALatencyCycles: 133, SendRing: 512, RecvRing: 512, PostBatch: 64}
+}
+
+// Host is the host processor, memory, and driver model. It implements the
+// assists' Host interface (Delay). Register Tick in the host clock domain.
+type Host struct {
+	cfg Config
+
+	Source SendSource
+
+	// delayed DMA completions, a time-ordered queue.
+	now     uint64
+	pending []delayed
+
+	// Send side.
+	sendBDs       []SendBD // posted, not yet taken by the NIC
+	postedFrames  uint64
+	inFlight      int // frames posted but not completed (ring occupancy)
+	mailboxWrites stats.Counter
+
+	// Receive side.
+	recvPosted int // receive buffers currently posted
+	recvTaken  int
+
+	// Delivered traffic accounting and in-order validation.
+	SendCompleted stats.Counter
+	RecvDelivered stats.Counter
+	RecvBytes     stats.Counter // UDP payload bytes delivered to the host
+	RecvOutOfOrd  stats.Counter
+	RecvCorrupt   stats.Counter
+	nextRecvSeq   uint64
+	haveRecvSeq   bool
+
+	// OnDeliver observes every frame handed to the host (tests, examples).
+	OnDeliver func(*Frame)
+}
+
+type delayed struct {
+	at uint64
+	f  func()
+}
+
+// New creates a host model.
+func New(cfg Config) *Host {
+	if cfg.SendRing <= 0 || cfg.RecvRing <= 0 || cfg.DMALatencyCycles < 0 || cfg.PostBatch <= 0 {
+		panic(fmt.Sprintf("host: bad config %+v", cfg))
+	}
+	return &Host{cfg: cfg}
+}
+
+// Delay schedules f after the DMA round-trip latency. It implements the
+// assists' Host interface.
+func (h *Host) Delay(f func()) {
+	h.pending = append(h.pending, delayed{at: h.now + uint64(h.cfg.DMALatencyCycles), f: f})
+}
+
+// Tick advances the host clock: fires due DMA completions and runs the
+// driver.
+func (h *Host) Tick(cycle uint64) {
+	h.now++
+	// Fire due completions preserving enqueue order.
+	kept := h.pending[:0]
+	for _, d := range h.pending {
+		if d.at <= h.now {
+			d.f()
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	h.pending = kept
+	h.driver()
+}
+
+// driver posts send descriptors while ring space allows and replenishes the
+// receive pool, writing the mailbox for each batch.
+func (h *Host) driver() {
+	posted := 0
+	for posted < h.cfg.PostBatch && h.inFlight < h.cfg.SendRing && h.Source != nil {
+		f := h.Source.Next()
+		if f == nil {
+			break
+		}
+		h.sendBDs = append(h.sendBDs,
+			SendBD{Frame: f, Len: HeaderBytes},
+			SendBD{Frame: f, Len: f.Size - HeaderBytes, Last: true},
+		)
+		h.inFlight++
+		h.postedFrames++
+		posted++
+	}
+	if posted > 0 {
+		h.mailboxWrites.Inc()
+	}
+	if h.recvPosted < h.cfg.RecvRing {
+		h.recvPosted = h.cfg.RecvRing
+		h.mailboxWrites.Inc()
+	}
+}
+
+// PostedSendBDs returns the number of send descriptors available to fetch.
+func (h *Host) PostedSendBDs() int { return len(h.sendBDs) }
+
+// TakeSendBDs removes and returns up to max posted send descriptors, the
+// functional effect of a descriptor-batch DMA.
+func (h *Host) TakeSendBDs(max int) []SendBD {
+	if max > len(h.sendBDs) {
+		max = len(h.sendBDs)
+	}
+	out := h.sendBDs[:max]
+	h.sendBDs = h.sendBDs[max:]
+	return out
+}
+
+// PostedRecvBDs returns the number of receive buffers available to fetch.
+func (h *Host) PostedRecvBDs() int { return h.recvPosted - h.recvTaken }
+
+// TakeRecvBDs consumes up to max posted receive buffers and returns how many
+// were taken.
+func (h *Host) TakeRecvBDs(max int) int {
+	avail := h.PostedRecvBDs()
+	if max > avail {
+		max = avail
+	}
+	h.recvTaken += max
+	return max
+}
+
+// CompleteSend informs the driver that n frames finished transmission,
+// freeing ring space.
+func (h *Host) CompleteSend(n int) {
+	h.inFlight -= n
+	if h.inFlight < 0 {
+		panic("host: send completions exceed postings")
+	}
+	h.SendCompleted.Add(uint64(n))
+}
+
+// DeliverFrame hands one received frame to the host, consuming a receive
+// buffer. It validates sequence order — the NIC must deliver frames in
+// arrival order to avoid TCP performance collapse — and, when real bytes are
+// carried, the frame and UDP checksums.
+func (h *Host) DeliverFrame(f *Frame) {
+	h.recvPosted--
+	h.recvTaken--
+	h.RecvDelivered.Inc()
+	h.RecvBytes.Add(uint64(f.UDPSize))
+	// Frames dropped at the MAC leave forward gaps, which are not
+	// reordering; only a backward step violates in-order delivery.
+	if h.haveRecvSeq && f.Seq < h.nextRecvSeq {
+		h.RecvOutOfOrd.Inc()
+	}
+	h.nextRecvSeq = f.Seq + 1
+	h.haveRecvSeq = true
+	if f.Wire != nil {
+		if err := validateFrame(f); err != nil {
+			h.RecvCorrupt.Inc()
+		}
+	}
+	if h.OnDeliver != nil {
+		h.OnDeliver(f)
+	}
+}
+
+// validateFrame checks the Ethernet FCS and UDP checksum of a delivered
+// frame.
+func validateFrame(f *Frame) error {
+	fr, err := ethernet.Unmarshal(f.Wire)
+	if err != nil {
+		return err
+	}
+	p, err := ethernet.ParseUDPIPv4(fr.Payload)
+	if err != nil {
+		return err
+	}
+	if len(p.Payload) != f.UDPSize {
+		return fmt.Errorf("host: UDP size %d, want %d", len(p.Payload), f.UDPSize)
+	}
+	return nil
+}

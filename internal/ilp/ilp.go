@@ -1,0 +1,248 @@
+// Package ilp performs the offline instruction-level-parallelism limit
+// analysis of the paper's Table 2: given a dynamic instruction trace of NIC
+// firmware, it computes the theoretical peak IPC for processor
+// configurations spanning issue order (in-order vs out-of-order), issue
+// width, branch prediction model, and pipeline idealization.
+//
+// The models match the paper's description:
+//
+//   - Perfect pipeline: all instructions complete in a single cycle; the only
+//     limit is that dependent instructions cannot issue in the same cycle.
+//   - Pipeline with stalls: a five-stage pipeline with full forwarding;
+//     load results are available one cycle late (load-use stalls), and only
+//     one memory operation can issue per cycle.
+//   - PBP: any number of branches are predicted perfectly every cycle.
+//   - PBP1: one branch per cycle is predicted perfectly; a second branch
+//     waits for the next cycle.
+//   - NoBP: a branch stops any further instruction from issuing until the
+//     next cycle.
+//
+// Dependences are tracked through registers only; memory disambiguation is
+// idealized (perfect), as is customary in limit studies. Unconditional jumps
+// redirect fetch trivially and are not treated as predicted branches.
+package ilp
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// IssueOrder selects in-order or out-of-order issue.
+type IssueOrder int
+
+// Issue orders.
+const (
+	InOrder IssueOrder = iota
+	OutOfOrder
+)
+
+// String returns the paper's abbreviation.
+func (o IssueOrder) String() string {
+	if o == InOrder {
+		return "IO"
+	}
+	return "OOO"
+}
+
+// Predictor selects the branch prediction idealization.
+type Predictor int
+
+// Branch predictors.
+const (
+	PerfectBP Predictor = iota // unlimited correctly predicted branches/cycle
+	PerfectBP1
+	NoBP
+)
+
+// String returns the paper's abbreviation.
+func (p Predictor) String() string {
+	switch p {
+	case PerfectBP:
+		return "PBP"
+	case PerfectBP1:
+		return "PBP1"
+	}
+	return "NoBP"
+}
+
+// Pipeline selects the pipeline idealization.
+type Pipeline int
+
+// Pipeline models.
+const (
+	PerfectPipe Pipeline = iota
+	StallPipe            // five-stage with forwarding: load-use stall, one memory op/cycle
+)
+
+// Config is one processor configuration.
+type Config struct {
+	Order IssueOrder
+	Width int
+	BP    Predictor
+	Pipe  Pipeline
+	// Window bounds the out-of-order instruction window (reorder-buffer
+	// style: an instruction cannot issue until the instruction Window
+	// positions older has issued). Zero means unbounded, the paper's
+	// idealization.
+	Window int
+}
+
+// String identifies the configuration compactly, e.g. "OOO-2 PBP1 stalls".
+func (c Config) String() string {
+	pipe := "perfect"
+	if c.Pipe == StallPipe {
+		pipe = "stalls"
+	}
+	return fmt.Sprintf("%v-%d %v %s", c.Order, c.Width, c.BP, pipe)
+}
+
+// Result reports the limit-study outcome for one configuration.
+type Result struct {
+	Config       Config
+	Instructions uint64
+	Cycles       uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Analyze schedules the trace under the configuration and returns the
+// achievable IPC. Scheduling is greedy oldest-first, the standard approach
+// for limit studies.
+func Analyze(tr []trace.Inst, cfg Config) Result {
+	if cfg.Width <= 0 {
+		panic("ilp: non-positive issue width")
+	}
+	if len(tr) == 0 {
+		return Result{Config: cfg}
+	}
+	// Resource usage per cycle. An instruction issues at most 2 cycles after
+	// the previous one (max latency), so 2N+2 bounds every index.
+	widthUsed := make([]uint8, 2*len(tr)+2)
+	var memUsed, brUsed []bool
+	if cfg.Pipe == StallPipe {
+		memUsed = make([]bool, len(widthUsed))
+	}
+	if cfg.BP == PerfectBP1 {
+		brUsed = make([]bool, len(widthUsed))
+	}
+
+	var ready [32]uint64 // cycle at which each register's value is available
+	var lastIssue uint64 // most recent issue cycle (in-order constraint)
+	var branchGate uint64
+	var maxCycle uint64
+
+	// Finite-window tracking: ring of recent issue times.
+	var issued []uint64
+	if cfg.Window > 0 {
+		issued = make([]uint64, cfg.Window)
+	}
+
+	for idx, in := range tr {
+		t := branchGate
+		if issued != nil && idx >= cfg.Window {
+			// The instruction Window positions older must have retired
+			// (issued and left the window) before this one can issue.
+			if gate := issued[idx%cfg.Window] + 1; gate > t {
+				t = gate
+			}
+		}
+		if in.Src1 > 0 && ready[in.Src1] > t {
+			t = ready[in.Src1]
+		}
+		if in.Src2 > 0 && ready[in.Src2] > t {
+			t = ready[in.Src2]
+		}
+		if cfg.Order == InOrder && t < lastIssue {
+			t = lastIssue
+		}
+		isMem := in.Kind == trace.Load || in.Kind == trace.Store || in.Kind == trace.RMW
+		isBranch := in.Kind == trace.Branch
+		for {
+			if widthUsed[t] >= uint8(cfg.Width) {
+				t++
+				continue
+			}
+			if isMem && memUsed != nil && memUsed[t] {
+				t++
+				continue
+			}
+			if isBranch && brUsed != nil && brUsed[t] {
+				t++
+				continue
+			}
+			break
+		}
+		widthUsed[t]++
+		if isMem && memUsed != nil {
+			memUsed[t] = true
+		}
+		if isBranch && brUsed != nil {
+			brUsed[t] = true
+		}
+		lat := uint64(1)
+		if (in.Kind == trace.Load || in.Kind == trace.RMW) && cfg.Pipe == StallPipe {
+			lat = 2
+		}
+		if in.Dst > 0 {
+			ready[in.Dst] = t + lat
+		}
+		if isBranch && cfg.BP == NoBP {
+			branchGate = t + 1
+		}
+		if cfg.Order == InOrder {
+			lastIssue = t
+		}
+		if issued != nil {
+			issued[idx%cfg.Window] = t
+		}
+		if t > maxCycle {
+			maxCycle = t
+		}
+	}
+	return Result{Config: cfg, Instructions: uint64(len(tr)), Cycles: maxCycle + 1}
+}
+
+// A TableCell identifies one of the paper's Table 2 columns.
+type TableCell struct {
+	BP   Predictor
+	Pipe Pipeline
+}
+
+// Table2Columns lists the five columns of Table 2 in paper order: perfect
+// pipeline with PBP and NoBP, stalling pipeline with PBP, PBP1, and NoBP.
+var Table2Columns = []TableCell{
+	{PerfectBP, PerfectPipe},
+	{NoBP, PerfectPipe},
+	{PerfectBP, StallPipe},
+	{PerfectBP1, StallPipe},
+	{NoBP, StallPipe},
+}
+
+// Table2Rows lists the six rows: in-order then out-of-order at widths 1, 2, 4.
+var Table2Rows = []struct {
+	Order IssueOrder
+	Width int
+}{
+	{InOrder, 1}, {InOrder, 2}, {InOrder, 4},
+	{OutOfOrder, 1}, {OutOfOrder, 2}, {OutOfOrder, 4},
+}
+
+// Table2 computes the full grid over the trace. The result is indexed
+// [row][column] following Table2Rows and Table2Columns.
+func Table2(tr []trace.Inst) [][]Result {
+	out := make([][]Result, len(Table2Rows))
+	for i, row := range Table2Rows {
+		out[i] = make([]Result, len(Table2Columns))
+		for j, col := range Table2Columns {
+			out[i][j] = Analyze(tr, Config{Order: row.Order, Width: row.Width, BP: col.BP, Pipe: col.Pipe})
+		}
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+// Package isa defines the MIPS-R4000-subset instruction set implemented by
+// the NIC's processing cores, extended with the paper's two atomic
+// read-modify-write instructions, set and update.
+//
+// The binary encoding follows the MIPS32 conventions (opcode in bits 31-26,
+// SPECIAL funct in bits 5-0); set and update live in the SPECIAL2 opcode
+// space. The cores are single-issue, five-stage, in-order, with one branch
+// delay slot, exactly as the firmware in the paper was compiled for.
+package isa
+
+import "fmt"
+
+// Register names in conventional MIPS assembler order.
+var RegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegByName maps assembler register names (with or without the leading $,
+// and numeric forms like $8) to register numbers.
+func RegByName(name string) (int, bool) {
+	if len(name) > 0 && name[0] == '$' {
+		name = name[1:]
+	}
+	for i, n := range RegNames {
+		if n == name {
+			return i, true
+		}
+	}
+	// Numeric form.
+	var r, digits int
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		r = r*10 + int(c-'0')
+		digits++
+	}
+	if digits == 0 || r > 31 {
+		return 0, false
+	}
+	return r, true
+}
+
+// Op is a mnemonic-level opcode.
+type Op uint8
+
+// The instruction set.
+const (
+	BAD Op = iota
+	// R-type arithmetic/logic.
+	ADDU
+	SUBU
+	AND
+	OR
+	XOR
+	NOR
+	SLT
+	SLTU
+	SLL
+	SRL
+	SRA
+	SLLV
+	SRLV
+	SRAV
+	MFHI
+	MFLO
+	MULT
+	MULTU
+	DIV
+	DIVU
+	JR
+	JALR
+	BREAK
+	// I-type.
+	ADDIU
+	SLTI
+	SLTIU
+	ANDI
+	ORI
+	XORI
+	LUI
+	LW
+	SW
+	LB
+	LBU
+	LH
+	LHU
+	SB
+	SH
+	LL
+	SC
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	BLTZ
+	BGEZ
+	// J-type.
+	J
+	JAL
+	// SPECIAL2 extensions: the paper's atomic RMW instructions.
+	SETB // set rs[rt]: atomically set bit rt of the array at base rs
+	UPD  // upd rd, rs: atomically clear the consecutive run at the head of
+	// the array at base rs (one aligned word max) and return the offset of
+	// the last cleared bit in rd, or -1 if none
+)
+
+var opNames = map[Op]string{
+	ADDU: "addu", SUBU: "subu", AND: "and", OR: "or", XOR: "xor", NOR: "nor",
+	SLT: "slt", SLTU: "sltu", SLL: "sll", SRL: "srl", SRA: "sra",
+	SLLV: "sllv", SRLV: "srlv", SRAV: "srav", JR: "jr", JALR: "jalr",
+	MFHI: "mfhi", MFLO: "mflo", MULT: "mult", MULTU: "multu",
+	DIV: "div", DIVU: "divu",
+	BREAK: "break", ADDIU: "addiu", SLTI: "slti", SLTIU: "sltiu",
+	ANDI: "andi", ORI: "ori", XORI: "xori", LUI: "lui", LW: "lw", SW: "sw",
+	LB: "lb", LBU: "lbu", LH: "lh", LHU: "lhu", SB: "sb", SH: "sh",
+	LL: "ll", SC: "sc", BEQ: "beq", BNE: "bne", BLEZ: "blez", BGTZ: "bgtz",
+	BLTZ: "bltz", BGEZ: "bgez",
+	J: "j", JAL: "jal", SETB: "setb", UPD: "upd",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op     Op
+	Rd     int
+	Rs     int
+	Rt     int
+	Shamt  int
+	Imm    int32  // sign-extended for arithmetic/branch/memory, zero-extended for logical
+	Target uint32 // word address field for J/JAL (26 bits)
+}
+
+// Primary opcodes.
+const (
+	opSpecial  = 0
+	opRegimm   = 1
+	opSpecial2 = 28
+	opJ        = 2
+	opJAL      = 3
+	opBEQ      = 4
+	opBNE      = 5
+	opBLEZ     = 6
+	opBGTZ     = 7
+	opADDIU    = 9
+	opSLTI     = 10
+	opSLTIU    = 11
+	opANDI     = 12
+	opORI      = 13
+	opXORI     = 14
+	opLUI      = 15
+	opLW       = 35
+	opSW       = 43
+	opLB       = 32
+	opLH       = 33
+	opLBU      = 36
+	opLHU      = 37
+	opSB       = 40
+	opSH       = 41
+	opLL       = 48
+	opSC       = 56
+)
+
+// REGIMM rt-field codes.
+const (
+	rtBLTZ = 0
+	rtBGEZ = 1
+)
+
+// SPECIAL funct codes.
+const (
+	fnSLL   = 0
+	fnSRL   = 2
+	fnSRA   = 3
+	fnSLLV  = 4
+	fnSRLV  = 6
+	fnSRAV  = 7
+	fnJR    = 8
+	fnJALR  = 9
+	fnBREAK = 13
+	fnMFHI  = 16
+	fnMFLO  = 18
+	fnMULT  = 24
+	fnMULTU = 25
+	fnDIV   = 26
+	fnDIVU  = 27
+	fnADDU  = 33
+	fnSUBU  = 35
+	fnAND   = 36
+	fnOR    = 37
+	fnXOR   = 38
+	fnNOR   = 39
+	fnSLT   = 42
+	fnSLTU  = 43
+)
+
+// SPECIAL2 funct codes for the RMW extensions.
+const (
+	fnSETB = 0x30
+	fnUPD  = 0x31
+)
+
+var rFunct = map[Op]uint32{
+	SLL: fnSLL, SRL: fnSRL, SRA: fnSRA, SLLV: fnSLLV, SRLV: fnSRLV,
+	SRAV: fnSRAV, JR: fnJR, JALR: fnJALR, BREAK: fnBREAK, ADDU: fnADDU,
+	SUBU: fnSUBU, AND: fnAND, OR: fnOR, XOR: fnXOR, NOR: fnNOR, SLT: fnSLT,
+	SLTU: fnSLTU, MFHI: fnMFHI, MFLO: fnMFLO, MULT: fnMULT, MULTU: fnMULTU,
+	DIV: fnDIV, DIVU: fnDIVU,
+}
+
+var functR = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(rFunct))
+	for op, fn := range rFunct {
+		m[fn] = op
+	}
+	return m
+}()
+
+var iOpcode = map[Op]uint32{
+	ADDIU: opADDIU, SLTI: opSLTI, SLTIU: opSLTIU, ANDI: opANDI, ORI: opORI,
+	XORI: opXORI, LUI: opLUI, LW: opLW, SW: opSW, LL: opLL, SC: opSC,
+	LB: opLB, LH: opLH, LBU: opLBU, LHU: opLHU, SB: opSB, SH: opSH,
+	BEQ: opBEQ, BNE: opBNE, BLEZ: opBLEZ, BGTZ: opBGTZ,
+}
+
+var opcodeI = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(iOpcode))
+	for op, oc := range iOpcode {
+		m[oc] = op
+	}
+	return m
+}()
+
+// Encode serializes a decoded instruction to its 32-bit machine form.
+func (in Inst) Encode() (uint32, error) {
+	r := func(rs, rt, rd, shamt, fn uint32) uint32 {
+		return rs<<21 | rt<<16 | rd<<11 | shamt<<6 | fn
+	}
+	switch in.Op {
+	case SLL, SRL, SRA:
+		return r(0, uint32(in.Rt), uint32(in.Rd), uint32(in.Shamt), rFunct[in.Op]), nil
+	case SLLV, SRLV, SRAV, ADDU, SUBU, AND, OR, XOR, NOR, SLT, SLTU:
+		return r(uint32(in.Rs), uint32(in.Rt), uint32(in.Rd), 0, rFunct[in.Op]), nil
+	case JR:
+		return r(uint32(in.Rs), 0, 0, 0, fnJR), nil
+	case JALR:
+		return r(uint32(in.Rs), 0, uint32(in.Rd), 0, fnJALR), nil
+	case BREAK:
+		return r(0, 0, 0, 0, fnBREAK), nil
+	case MFHI, MFLO:
+		return r(0, 0, uint32(in.Rd), 0, rFunct[in.Op]), nil
+	case MULT, MULTU, DIV, DIVU:
+		return r(uint32(in.Rs), uint32(in.Rt), 0, 0, rFunct[in.Op]), nil
+	case BLTZ:
+		return uint32(opRegimm)<<26 | uint32(in.Rs)<<21 | rtBLTZ<<16 | uint32(uint16(in.Imm)), nil
+	case BGEZ:
+		return uint32(opRegimm)<<26 | uint32(in.Rs)<<21 | rtBGEZ<<16 | uint32(uint16(in.Imm)), nil
+	case ADDIU, SLTI, SLTIU, ANDI, ORI, XORI, LW, SW, LB, LH, LBU, LHU, SB, SH, LL, SC, BEQ, BNE:
+		return iOpcode[in.Op]<<26 | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | uint32(uint16(in.Imm)), nil
+	case LUI:
+		return uint32(opLUI)<<26 | uint32(in.Rt)<<16 | uint32(uint16(in.Imm)), nil
+	case BLEZ, BGTZ:
+		return iOpcode[in.Op]<<26 | uint32(in.Rs)<<21 | uint32(uint16(in.Imm)), nil
+	case J, JAL:
+		return iOpcode2(in.Op)<<26 | (in.Target & 0x03ffffff), nil
+	case SETB:
+		return uint32(opSpecial2)<<26 | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | fnSETB, nil
+	case UPD:
+		return uint32(opSpecial2)<<26 | uint32(in.Rs)<<21 | uint32(in.Rd)<<11 | fnUPD, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode op %v", in.Op)
+}
+
+func iOpcode2(op Op) uint32 {
+	if op == J {
+		return opJ
+	}
+	return opJAL
+}
+
+// Decode parses a 32-bit machine word.
+func Decode(w uint32) (Inst, error) {
+	oc := w >> 26
+	rs := int(w >> 21 & 31)
+	rt := int(w >> 16 & 31)
+	rd := int(w >> 11 & 31)
+	shamt := int(w >> 6 & 31)
+	fn := w & 63
+	simm := int32(int16(w & 0xffff))
+	zimm := int32(w & 0xffff)
+
+	switch oc {
+	case opSpecial:
+		op, ok := functR[fn]
+		if !ok {
+			return Inst{}, fmt.Errorf("isa: unknown SPECIAL funct %d in %#08x", fn, w)
+		}
+		return Inst{Op: op, Rs: rs, Rt: rt, Rd: rd, Shamt: shamt}, nil
+	case opSpecial2:
+		switch fn {
+		case fnSETB:
+			return Inst{Op: SETB, Rs: rs, Rt: rt}, nil
+		case fnUPD:
+			return Inst{Op: UPD, Rs: rs, Rd: rd}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown SPECIAL2 funct %d in %#08x", fn, w)
+	case opJ, opJAL:
+		op := J
+		if oc == opJAL {
+			op = JAL
+		}
+		return Inst{Op: op, Target: w & 0x03ffffff}, nil
+	case opRegimm:
+		switch rt {
+		case rtBLTZ:
+			return Inst{Op: BLTZ, Rs: rs, Imm: simm}, nil
+		case rtBGEZ:
+			return Inst{Op: BGEZ, Rs: rs, Imm: simm}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown REGIMM rt %d in %#08x", rt, w)
+	}
+	op, ok := opcodeI[oc]
+	if !ok {
+		return Inst{}, fmt.Errorf("isa: unknown opcode %d in %#08x", oc, w)
+	}
+	imm := simm
+	switch op {
+	case ANDI, ORI, XORI:
+		imm = zimm
+	}
+	return Inst{Op: op, Rs: rs, Rt: rt, Imm: imm}, nil
+}
+
+// Disassemble formats the instruction in assembler syntax. pc is the address
+// of the instruction, used to render branch targets.
+func (in Inst) Disassemble(pc uint32) string {
+	n := func(r int) string { return "$" + RegNames[r] }
+	switch in.Op {
+	case SLL, SRL, SRA:
+		return fmt.Sprintf("%v %s, %s, %d", in.Op, n(in.Rd), n(in.Rt), in.Shamt)
+	case SLLV, SRLV, SRAV:
+		return fmt.Sprintf("%v %s, %s, %s", in.Op, n(in.Rd), n(in.Rt), n(in.Rs))
+	case ADDU, SUBU, AND, OR, XOR, NOR, SLT, SLTU:
+		return fmt.Sprintf("%v %s, %s, %s", in.Op, n(in.Rd), n(in.Rs), n(in.Rt))
+	case JR:
+		return fmt.Sprintf("jr %s", n(in.Rs))
+	case JALR:
+		return fmt.Sprintf("jalr %s, %s", n(in.Rd), n(in.Rs))
+	case BREAK:
+		return "break"
+	case ADDIU, SLTI, SLTIU, ANDI, ORI, XORI:
+		return fmt.Sprintf("%v %s, %s, %d", in.Op, n(in.Rt), n(in.Rs), in.Imm)
+	case LUI:
+		return fmt.Sprintf("lui %s, %d", n(in.Rt), in.Imm)
+	case LW, SW, LB, LH, LBU, LHU, SB, SH, LL, SC:
+		return fmt.Sprintf("%v %s, %d(%s)", in.Op, n(in.Rt), in.Imm, n(in.Rs))
+	case BEQ, BNE:
+		return fmt.Sprintf("%v %s, %s, %#x", in.Op, n(in.Rs), n(in.Rt), branchTarget(pc, in.Imm))
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		return fmt.Sprintf("%v %s, %#x", in.Op, n(in.Rs), branchTarget(pc, in.Imm))
+	case MFHI, MFLO:
+		return fmt.Sprintf("%v %s", in.Op, n(in.Rd))
+	case MULT, MULTU, DIV, DIVU:
+		return fmt.Sprintf("%v %s, %s", in.Op, n(in.Rs), n(in.Rt))
+	case J, JAL:
+		return fmt.Sprintf("%v %#x", in.Op, in.Target<<2)
+	case SETB:
+		return fmt.Sprintf("setb %s, %s", n(in.Rs), n(in.Rt))
+	case UPD:
+		return fmt.Sprintf("upd %s, %s", n(in.Rd), n(in.Rs))
+	}
+	return fmt.Sprintf("%v ???", in.Op)
+}
+
+// branchTarget computes the branch destination: PC of the delay slot plus
+// the shifted immediate.
+func branchTarget(pc uint32, imm int32) uint32 {
+	return pc + 4 + uint32(imm)<<2
+}
+
+// BranchTarget exposes branch target arithmetic for the VM and assembler.
+func BranchTarget(pc uint32, imm int32) uint32 { return branchTarget(pc, imm) }

@@ -1,0 +1,132 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRegByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"$zero", 0, true}, {"zero", 0, true}, {"$t0", 8, true},
+		{"$ra", 31, true}, {"$5", 5, true}, {"$31", 31, true},
+		{"$32", 0, false}, {"$bogus", 0, false}, {"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := RegByName(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("RegByName(%q) = (%d, %v), want (%d, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// randomInst produces a random valid instruction for round-trip testing.
+func randomInst(r *rand.Rand) Inst {
+	ops := []Op{
+		ADDU, SUBU, AND, OR, XOR, NOR, SLT, SLTU, SLL, SRL, SRA, SLLV, SRLV,
+		SRAV, JR, JALR, BREAK, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI, LUI, LW,
+		SW, LB, LBU, LH, LHU, SB, SH, LL, SC, BEQ, BNE, BLEZ, BGTZ, BLTZ,
+		BGEZ, J, JAL, SETB, UPD, MFHI, MFLO, MULT, MULTU, DIV, DIVU,
+	}
+	op := ops[r.Intn(len(ops))]
+	in := Inst{Op: op}
+	switch op {
+	case SLL, SRL, SRA:
+		in.Rd, in.Rt, in.Shamt = r.Intn(32), r.Intn(32), r.Intn(32)
+	case SLLV, SRLV, SRAV, ADDU, SUBU, AND, OR, XOR, NOR, SLT, SLTU:
+		in.Rd, in.Rs, in.Rt = r.Intn(32), r.Intn(32), r.Intn(32)
+	case JR:
+		in.Rs = r.Intn(32)
+	case JALR:
+		in.Rd, in.Rs = r.Intn(32), r.Intn(32)
+	case BREAK:
+	case ADDIU, SLTI, SLTIU, LW, SW, LB, LBU, LH, LHU, SB, SH, LL, SC, BEQ, BNE:
+		in.Rs, in.Rt, in.Imm = r.Intn(32), r.Intn(32), int32(int16(r.Uint32()))
+	case ANDI, ORI, XORI:
+		in.Rs, in.Rt, in.Imm = r.Intn(32), r.Intn(32), int32(uint16(r.Uint32()))
+	case LUI:
+		in.Rt, in.Imm = r.Intn(32), int32(uint16(r.Uint32()))
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		in.Rs, in.Imm = r.Intn(32), int32(int16(r.Uint32()))
+	case MFHI, MFLO:
+		in.Rd = r.Intn(32)
+	case MULT, MULTU, DIV, DIVU:
+		in.Rs, in.Rt = r.Intn(32), r.Intn(32)
+	case J, JAL:
+		in.Target = r.Uint32() & 0x03ffffff
+	case SETB:
+		in.Rs, in.Rt = r.Intn(32), r.Intn(32)
+	case UPD:
+		in.Rd, in.Rs = r.Intn(32), r.Intn(32)
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		in := randomInst(r)
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) from %+v: %v", w, in, err)
+		}
+		// LUI encodes only 16 bits of immediate; compare the canonical form.
+		if in.Op == LUI {
+			in.Imm = int32(uint16(in.Imm))
+			got.Imm = int32(uint16(got.Imm))
+		}
+		if got != in {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v (word %#08x)", in, got, w)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknown(t *testing.T) {
+	// Opcode 63 is not in the subset.
+	if _, err := Decode(63 << 26); err == nil {
+		t.Error("Decode accepted an unknown opcode")
+	}
+	// SPECIAL funct 1 is undefined.
+	if _, err := Decode(1); err == nil {
+		t.Error("Decode accepted unknown SPECIAL funct")
+	}
+	// SPECIAL2 funct 0 is undefined.
+	if _, err := Decode(28 << 26); err == nil {
+		t.Error("Decode accepted unknown SPECIAL2 funct")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	// Branch at 0x100 with offset +3 words: target = 0x104 + 12 = 0x110.
+	if got := BranchTarget(0x100, 3); got != 0x110 {
+		t.Errorf("BranchTarget = %#x, want 0x110", got)
+	}
+	if got := BranchTarget(0x100, -1); got != 0x100 {
+		t.Errorf("backward BranchTarget = %#x, want 0x100", got)
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADDU, Rd: 2, Rs: 4, Rt: 5}, "addu $v0, $a0, $a1"},
+		{Inst{Op: LW, Rt: 8, Rs: 29, Imm: 16}, "lw $t0, 16($sp)"},
+		{Inst{Op: SETB, Rs: 4, Rt: 8}, "setb $a0, $t0"},
+		{Inst{Op: UPD, Rd: 2, Rs: 4}, "upd $v0, $a0"},
+		{Inst{Op: BREAK}, "break"},
+	}
+	for _, c := range cases {
+		if got := c.in.Disassemble(0); got != c.want {
+			t.Errorf("Disassemble = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package mem
+
+import "fmt"
+
+// BitArray is the status-flag structure behind the paper's two new atomic
+// read-modify-write instructions, set and update.
+//
+// Firmware uses one bit per in-flight frame, indexed by the frame's position
+// in a ring. As frames finish a processing stage out of order, bits are set;
+// the dispatch loop then needs the length of the *consecutive* run of
+// finished frames starting at the commit point so it can advance a hardware
+// pointer. With plain loads and stores that scan requires a lock around
+// looping read-modify-write code; set and update replace it with two
+// single-word atomic operations:
+//
+//   - Set(i) atomically sets bit i.
+//   - Update() examines at most one aligned 32-bit word starting at the
+//     current commit point, atomically clears the run of consecutive set bits
+//     found there, advances the commit point past them, and returns the
+//     offset of the last cleared bit.
+//
+// The array is circular over Bits().
+//
+// BitArray is functional state; the owning core issues the corresponding
+// scratchpad access to the timing model (a set or update is one scratchpad
+// transaction).
+type BitArray struct {
+	sp   *Scratchpad
+	base uint32
+	bits int
+	head int // next bit Update expects to find set
+}
+
+// NewBitArray creates a bit array of nbits bits backed by the scratchpad at
+// the given byte address. nbits must be a multiple of 32 so that the circular
+// array is word-aligned.
+func NewBitArray(sp *Scratchpad, base uint32, nbits int) *BitArray {
+	if nbits <= 0 || nbits%32 != 0 {
+		panic(fmt.Sprintf("mem: bit array size %d not a positive multiple of 32", nbits))
+	}
+	return &BitArray{sp: sp, base: base, bits: nbits}
+}
+
+// Bits returns the array's capacity in bits.
+func (b *BitArray) Bits() int { return b.bits }
+
+// Head returns the current commit point (the next bit index Update expects).
+func (b *BitArray) Head() int { return b.head }
+
+// Set atomically sets bit i (mod Bits). This is one scratchpad transaction;
+// the word update itself is quiet (Peek/Poke) because the owning core or
+// assist issues the timing-visible access for it.
+func (b *BitArray) Set(i int) {
+	i %= b.bits
+	addr := b.wordAddr(i)
+	w := b.sp.Peek32(addr)
+	b.sp.Poke32(addr, w|1<<(uint(i)%32))
+}
+
+// IsSet reports bit i without recording a timing access; for tests.
+func (b *BitArray) IsSet(i int) bool {
+	i %= b.bits
+	return b.sp.Peek32(b.wordAddr(i))&(1<<(uint(i)%32)) != 0
+}
+
+// Update atomically clears the run of consecutive set bits beginning at the
+// commit point, examining at most the one aligned 32-bit word containing it,
+// and advances the commit point. It returns the offset of the last cleared
+// bit and the number of bits cleared; n is zero when the bit at the commit
+// point is not set. This is one scratchpad transaction.
+func (b *BitArray) Update() (last, n int) {
+	addr := b.wordAddr(b.head)
+	w := b.sp.Peek32(addr)
+	bit := uint(b.head) % 32
+	for n = 0; bit+uint(n) < 32; n++ {
+		if w&(1<<(bit+uint(n))) == 0 {
+			break
+		}
+		w &^= 1 << (bit + uint(n))
+	}
+	if n == 0 {
+		return -1, 0
+	}
+	b.sp.Poke32(addr, w)
+	last = (b.head + n - 1) % b.bits
+	b.head = (b.head + n) % b.bits
+	return last, n
+}
+
+func (b *BitArray) wordAddr(i int) uint32 {
+	return b.base + uint32(i/32)*4
+}

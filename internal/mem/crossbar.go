@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Crossbar models the 32-bit dancehall interconnect between the processors
+// and hardware assists on one side and the scratchpad banks plus the external
+// memory bus interface on the other.
+//
+// One transaction may be delivered to each resource (bank or external-memory
+// interface) per cycle, with independent round-robin arbitration per
+// resource. An access takes a minimum of two cycles: one to request and
+// traverse the crossbar, one to access the memory and return data. Requests
+// that lose arbitration wait, accumulating the bank-conflict stalls reported
+// in the paper's Table 3.
+//
+// Crossbar is a sim.Ticker; it must be registered in the CPU clock domain
+// *after* every requester so that a request submitted during cycle N can be
+// granted in cycle N and complete in cycle N+1.
+type Crossbar struct {
+	resources int // banks + 1 (external memory interface)
+	ports     []xbarPort
+	rr        []int // per-resource round-robin pointer (last granted port)
+	inFlight  [][]grant
+	// Grants counts transactions delivered per resource.
+	Grants []stats.Counter
+	// WaitCycles accumulates arbitration wait per port (conflict stalls).
+	WaitCycles []stats.Counter
+}
+
+type grant struct {
+	port int
+}
+
+type xbarPort struct {
+	active   bool
+	resource int
+	write    bool
+	waited   uint64
+	onDone   func(waited uint64)
+}
+
+// ExtMemResource returns the resource index of the external memory bus
+// interface for a crossbar with the given number of scratchpad banks.
+func ExtMemResource(banks int) int { return banks }
+
+// NewCrossbar creates a crossbar with the given number of requester ports and
+// scratchpad banks. Resource indices 0..banks-1 are the banks; index banks is
+// the external memory bus interface.
+func NewCrossbar(ports, banks int) *Crossbar {
+	if ports <= 0 || banks <= 0 {
+		panic(fmt.Sprintf("mem: bad crossbar geometry: %d ports, %d banks", ports, banks))
+	}
+	n := banks + 1
+	x := &Crossbar{
+		resources:  n,
+		ports:      make([]xbarPort, ports),
+		rr:         make([]int, n),
+		inFlight:   make([][]grant, n),
+		Grants:     make([]stats.Counter, n),
+		WaitCycles: make([]stats.Counter, ports),
+	}
+	for i := range x.rr {
+		x.rr[i] = -1
+	}
+	return x
+}
+
+// Ports returns the number of requester ports.
+func (x *Crossbar) Ports() int { return len(x.ports) }
+
+// Busy reports whether the port has a request outstanding (waiting or in the
+// access cycle).
+func (x *Crossbar) Busy(port int) bool { return x.ports[port].active }
+
+// Submit enqueues a request on the given port for the given resource. Each
+// port may have one request outstanding; submitting to a busy port panics,
+// since the processor pipeline and assist engines are responsible for not
+// over-issuing. onDone is invoked, with the number of cycles the request
+// waited in arbitration, during the tick in which data returns; it may be
+// nil.
+func (x *Crossbar) Submit(port, resource int, write bool, onDone func(waited uint64)) {
+	p := &x.ports[port]
+	if p.active {
+		panic(fmt.Sprintf("mem: crossbar port %d already busy", port))
+	}
+	if resource < 0 || resource >= x.resources {
+		panic(fmt.Sprintf("mem: crossbar resource %d out of range", resource))
+	}
+	p.active = true
+	p.resource = resource
+	p.write = write
+	p.waited = 0
+	p.onDone = onDone
+}
+
+// Tick completes accesses granted last cycle, then arbitrates new grants,
+// one per resource, round-robin across ports.
+func (x *Crossbar) Tick(cycle uint64) {
+	// Complete accesses that traversed the crossbar last cycle.
+	for r := range x.inFlight {
+		for _, f := range x.inFlight[r] {
+			p := &x.ports[f.port]
+			done := p.onDone
+			waited := p.waited
+			*p = xbarPort{}
+			if done != nil {
+				done(waited)
+			}
+		}
+		x.inFlight[r] = x.inFlight[r][:0]
+	}
+	// Arbitrate: each resource grants at most one waiting request.
+	for r := 0; r < x.resources; r++ {
+		granted := -1
+		for i := 1; i <= len(x.ports); i++ {
+			pi := (x.rr[r] + i) % len(x.ports)
+			p := &x.ports[pi]
+			if p.active && p.resource == r {
+				granted = pi
+				break
+			}
+		}
+		if granted >= 0 {
+			x.rr[r] = granted
+			x.inFlight[r] = append(x.inFlight[r], grant{port: granted})
+			x.Grants[r].Inc()
+		}
+	}
+	// Requests still active and not in flight waited this cycle.
+	for pi := range x.ports {
+		p := &x.ports[pi]
+		if p.active && !x.granted(pi) {
+			p.waited++
+			x.WaitCycles[pi].Inc()
+		}
+	}
+}
+
+func (x *Crossbar) granted(port int) bool {
+	r := x.ports[port].resource
+	for _, f := range x.inFlight[r] {
+		if f.port == port {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ICache models one core's private instruction cache: 8 KB, 2-way set
+// associative, 32-byte lines, LRU replacement in the paper's configuration.
+// Instructions are read-only and single-writer, so no coherence is needed.
+type ICache struct {
+	lineBytes int
+	sets      int
+	ways      int
+	tags      [][]uint32
+	valid     [][]bool
+	lruWay    []int // for 2-way: the way to evict next
+
+	Hits   stats.Counter
+	Misses stats.Counter
+}
+
+// NewICache creates an instruction cache of the given total size, ways, and
+// line size in bytes.
+func NewICache(size, ways, lineBytes int) *ICache {
+	if size <= 0 || ways <= 0 || lineBytes <= 0 || size%(ways*lineBytes) != 0 {
+		panic(fmt.Sprintf("mem: bad icache geometry: size=%d ways=%d line=%d", size, ways, lineBytes))
+	}
+	sets := size / (ways * lineBytes)
+	c := &ICache{
+		lineBytes: lineBytes,
+		sets:      sets,
+		ways:      ways,
+		tags:      make([][]uint32, sets),
+		valid:     make([][]bool, sets),
+		lruWay:    make([]int, sets),
+	}
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint32, ways)
+		c.valid[i] = make([]bool, ways)
+	}
+	return c
+}
+
+// Lookup probes the cache for the line holding pc and updates LRU state on a
+// hit. It does not fill on a miss; call Fill once the line arrives.
+func (c *ICache) Lookup(pc uint32) bool {
+	set, tag := c.index(pc)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.Hits.Inc()
+			c.touch(set, w)
+			return true
+		}
+	}
+	c.Misses.Inc()
+	return false
+}
+
+// Fill installs the line holding pc, evicting the LRU way.
+func (c *ICache) Fill(pc uint32) {
+	set, tag := c.index(pc)
+	w := c.lruWay[set]
+	// Prefer an invalid way over evicting.
+	for i := 0; i < c.ways; i++ {
+		if !c.valid[set][i] {
+			w = i
+			break
+		}
+	}
+	c.tags[set][w] = tag
+	c.valid[set][w] = true
+	c.touch(set, w)
+}
+
+// HitRatio returns hits/(hits+misses).
+func (c *ICache) HitRatio() float64 {
+	total := c.Hits.Value() + c.Misses.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits.Value()) / float64(total)
+}
+
+func (c *ICache) index(pc uint32) (set int, tag uint32) {
+	line := pc / uint32(c.lineBytes)
+	return int(line) % c.sets, line / uint32(c.sets)
+}
+
+func (c *ICache) touch(set, way int) {
+	if c.ways == 2 {
+		c.lruWay[set] = 1 - way
+		return
+	}
+	// General pseudo-LRU for other associativities: rotate past the touched
+	// way. Exact LRU is unnecessary fidelity for the instruction stream.
+	c.lruWay[set] = (way + 1) % c.ways
+}
+
+// InstrMemory models the shared 128-bit instruction memory port that fills
+// the per-core instruction caches. One fill is serviced at a time; cores wait
+// round-robin. A 32-byte line fill occupies the port for accessCy + 2
+// transfer cycles (32 B over a 16 B/cycle port).
+//
+// InstrMemory is a sim.Ticker in the CPU clock domain.
+type InstrMemory struct {
+	accessCy int
+	lineCy   int
+
+	pending  []fillReq
+	busy     int // cycles remaining on current fill
+	current  fillReq
+	hasCur   bool
+	PortBusy stats.Utilization
+	Fills    stats.Counter
+}
+
+type fillReq struct {
+	core   int
+	onDone func()
+}
+
+// NewInstrMemory creates the shared instruction memory. accessCy is the
+// fixed access latency before the line transfer begins; lineBytes sets the
+// number of 16-byte transfer cycles.
+func NewInstrMemory(accessCy, lineBytes int) *InstrMemory {
+	lineCy := (lineBytes + 15) / 16
+	if lineCy == 0 {
+		lineCy = 1
+	}
+	return &InstrMemory{accessCy: accessCy, lineCy: lineCy}
+}
+
+// RequestFill enqueues a line fill for a core; onDone is called during the
+// tick the fill completes.
+func (m *InstrMemory) RequestFill(core int, onDone func()) {
+	m.pending = append(m.pending, fillReq{core: core, onDone: onDone})
+}
+
+// Tick advances the instruction memory port one CPU cycle.
+func (m *InstrMemory) Tick(cycle uint64) {
+	m.PortBusy.Total.Inc()
+	if !m.hasCur && len(m.pending) > 0 {
+		m.current = m.pending[0]
+		m.pending = m.pending[1:]
+		m.hasCur = true
+		m.busy = m.accessCy + m.lineCy
+	}
+	if !m.hasCur {
+		return
+	}
+	// Only the transfer cycles occupy the 128-bit port; the access cycles
+	// are internal to the memory array.
+	if m.busy <= m.lineCy {
+		m.PortBusy.Busy.Inc()
+	}
+	m.busy--
+	if m.busy == 0 {
+		done := m.current.onDone
+		m.hasCur = false
+		m.Fills.Inc()
+		if done != nil {
+			done()
+		}
+	}
+}

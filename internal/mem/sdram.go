@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// SDRAM models the external graphics DDR SDRAM that holds frame contents,
+// together with the 128-bit internal bus the PCI interface and MAC unit share
+// to reach it.
+//
+// The device is 64 bits wide and double-data-rate, so at the bus frequency it
+// moves two 64-bit values per cycle: 16 bytes per SDRAM-domain cycle, 64 Gb/s
+// peak at 500 MHz. The four streaming assists buffer up to two maximum-sized
+// frames each and transfer whole frames to consecutive addresses, so bursts
+// sustain near-peak bandwidth and row activations are rare within a burst.
+//
+// Misaligned bursts waste bandwidth: transfers are rounded outward to 8-byte
+// boundaries, and the wasted bytes are counted in consumed bandwidth exactly
+// as the paper counts them ("this is lost SDRAM bandwidth that cannot be
+// recovered, so it is counted in the totals").
+//
+// SDRAM is a sim.Ticker registered in the SDRAM clock domain.
+type SDRAM struct {
+	rowBytes   int
+	banks      int
+	openRow    []int64
+	activateCy int
+
+	queues  [][]Transfer
+	current *Transfer
+	// remaining cycles in the current burst, including activation overhead
+	remaining int
+	rr        int
+
+	// UsefulBytes counts payload bytes moved; ConsumedBytes additionally
+	// counts alignment waste. BusyCycles/Cycles give bus utilization.
+	UsefulBytes   stats.Counter
+	ConsumedBytes stats.Counter
+	WastedBytes   stats.Counter
+	Activations   stats.Counter
+	Busy          stats.Utilization
+	// Latency records per-transfer total cycles (queue + activate + data).
+	Latency *stats.Histogram
+
+	now uint64
+}
+
+// A Transfer is one burst between an assist and the SDRAM.
+type Transfer struct {
+	Addr   uint32
+	Len    int
+	Write  bool
+	OnDone func()
+
+	queuedAt uint64
+}
+
+// SDRAMConfig parameterizes the memory device.
+type SDRAMConfig struct {
+	Ports      int // number of requesters (the four assists)
+	RowBytes   int // bytes per row (page) per bank
+	Banks      int
+	ActivateCy int // cycles to precharge+activate on a row miss
+}
+
+// DefaultSDRAMConfig matches the Micron MT44H8M32-class part in the paper:
+// four internal banks, 2 KB pages, and an activation penalty that yields
+// worst-case latencies in the tens of cycles.
+func DefaultSDRAMConfig() SDRAMConfig {
+	return SDRAMConfig{Ports: 4, RowBytes: 2048, Banks: 4, ActivateCy: 9}
+}
+
+// NewSDRAM creates an SDRAM model.
+func NewSDRAM(cfg SDRAMConfig) *SDRAM {
+	if cfg.Ports <= 0 || cfg.Banks <= 0 || cfg.RowBytes <= 0 {
+		panic(fmt.Sprintf("mem: bad SDRAM config %+v", cfg))
+	}
+	s := &SDRAM{
+		rowBytes:   cfg.RowBytes,
+		banks:      cfg.Banks,
+		openRow:    make([]int64, cfg.Banks),
+		activateCy: cfg.ActivateCy,
+		queues:     make([][]Transfer, cfg.Ports),
+		Latency:    stats.NewHistogram(4, 8, 16, 27, 64, 128, 256),
+	}
+	for i := range s.openRow {
+		s.openRow[i] = -1
+	}
+	return s
+}
+
+// Enqueue adds a transfer to the given port's queue.
+func (s *SDRAM) Enqueue(port int, t Transfer) {
+	t.queuedAt = s.now
+	s.queues[port] = append(s.queues[port], t)
+}
+
+// QueueLen returns the number of transfers waiting (plus in progress) for a
+// port.
+func (s *SDRAM) QueueLen(port int) int { return len(s.queues[port]) }
+
+// alignedLen returns the burst length after rounding the start down and the
+// end up to 8-byte boundaries.
+func alignedLen(addr uint32, n int) int {
+	start := addr &^ 7
+	end := (addr + uint32(n) + 7) &^ 7
+	return int(end - start)
+}
+
+// Tick advances the SDRAM and its shared bus by one cycle.
+func (s *SDRAM) Tick(cycle uint64) {
+	s.now = cycle
+	s.Busy.Total.Inc()
+	if s.current == nil {
+		s.start(cycle)
+	}
+	if s.current == nil {
+		return
+	}
+	s.Busy.Busy.Inc()
+	s.remaining--
+	if s.remaining == 0 {
+		t := s.current
+		s.current = nil
+		s.Latency.Observe(cycle + 1 - t.queuedAt)
+		if t.OnDone != nil {
+			t.OnDone()
+		}
+		// Start the next burst immediately so back-to-back streams sustain
+		// full bandwidth.
+		s.start(cycle)
+	}
+}
+
+// start pops the next transfer round-robin and computes its burst length.
+func (s *SDRAM) start(cycle uint64) {
+	for i := 1; i <= len(s.queues); i++ {
+		p := (s.rr + i) % len(s.queues)
+		if len(s.queues[p]) == 0 {
+			continue
+		}
+		t := s.queues[p][0]
+		s.queues[p] = s.queues[p][1:]
+		s.rr = p
+
+		al := alignedLen(t.Addr, t.Len)
+		dataCycles := (al + 15) / 16 // 16 bytes per DDR cycle on the 128-bit bus
+		if dataCycles == 0 {
+			dataCycles = 1
+		}
+		overhead := 0
+		bank := int(t.Addr/uint32(s.rowBytes)) % s.banks
+		row := int64(t.Addr) / int64(s.rowBytes) / int64(s.banks)
+		if s.openRow[bank] != row {
+			overhead = s.activateCy
+			s.openRow[bank] = row
+			s.Activations.Inc()
+		}
+		s.UsefulBytes.Add(uint64(t.Len))
+		s.ConsumedBytes.Add(uint64(al))
+		s.WastedBytes.Add(uint64(al - t.Len))
+		s.remaining = overhead + dataCycles
+		cur := t
+		s.current = &cur
+		return
+	}
+}
+
+// PeakGbps returns the peak bandwidth at the given SDRAM frequency in MHz.
+func PeakGbps(mhz float64) float64 { return mhz * 1e6 * 16 * 8 / 1e9 }

@@ -1,0 +1,183 @@
+// Package sim provides a deterministic multi-clock-domain cycle simulation
+// engine, the substrate on which the NIC controller model is built.
+//
+// The engine plays the role of the Liberty Simulation Environment scheduler in
+// the paper's Spinach models: modules are registered against a clock Domain
+// and are ticked once per cycle of that domain. Simulated time is kept in
+// picoseconds so that the four clock domains of the controller (CPU/scratchpad,
+// SDRAM, MAC, and host interconnect) interleave deterministically.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Picoseconds is the unit of simulated time.
+type Picoseconds uint64
+
+const (
+	// Nanosecond is 1 ns expressed in simulated time units.
+	Nanosecond Picoseconds = 1000
+	// Microsecond is 1 µs expressed in simulated time units.
+	Microsecond Picoseconds = 1000 * 1000
+	// Millisecond is 1 ms expressed in simulated time units.
+	Millisecond Picoseconds = 1000 * 1000 * 1000
+	// Second is 1 s expressed in simulated time units.
+	Second Picoseconds = 1000 * 1000 * 1000 * 1000
+)
+
+// Seconds converts simulated time to floating-point seconds.
+func (p Picoseconds) Seconds() float64 { return float64(p) / float64(Second) }
+
+// A Ticker is a module that does one clock domain cycle of work.
+//
+// Tick is called exactly once per cycle of the domain the ticker is
+// registered with; cycle counts from zero and increments by one.
+type Ticker interface {
+	Tick(cycle uint64)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(cycle uint64)
+
+// Tick calls f(cycle).
+func (f TickFunc) Tick(cycle uint64) { f(cycle) }
+
+// A Domain is a clock domain with a fixed frequency.
+//
+// The period is rounded to an integer number of picoseconds; at 166 MHz the
+// resulting frequency error is below 0.003%, far under the modeling noise of
+// the study.
+type Domain struct {
+	name    string
+	period  Picoseconds
+	hz      float64
+	next    Picoseconds
+	cycle   uint64
+	tickers []Ticker
+	order   int
+}
+
+// NewDomain creates a clock domain running at the given frequency in hertz.
+// It panics if hz is not positive, since a zero-frequency domain can never
+// make progress.
+func NewDomain(name string, hz float64) *Domain {
+	if hz <= 0 {
+		panic(fmt.Sprintf("sim: domain %q: non-positive frequency %v", name, hz))
+	}
+	period := Picoseconds(float64(Second)/hz + 0.5)
+	if period == 0 {
+		period = 1
+	}
+	return &Domain{name: name, period: period, hz: hz}
+}
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }
+
+// Hz returns the nominal frequency the domain was created with.
+func (d *Domain) Hz() float64 { return d.hz }
+
+// Period returns the integer-picosecond clock period.
+func (d *Domain) Period() Picoseconds { return d.period }
+
+// Cycles returns the number of cycles the domain has executed.
+func (d *Domain) Cycles() uint64 { return d.cycle }
+
+// Add registers a ticker with the domain. Tickers run in registration order
+// within a cycle, which keeps simulations deterministic.
+func (d *Domain) Add(t Ticker) { d.tickers = append(d.tickers, t) }
+
+// An Engine advances a set of clock domains through simulated time.
+type Engine struct {
+	domains []*Domain
+	now     Picoseconds
+	stop    bool
+}
+
+// NewEngine creates an engine over the given domains. Domains may be added
+// later with AddDomain, but only before Run is first called.
+func NewEngine(domains ...*Domain) *Engine {
+	e := &Engine{}
+	for _, d := range domains {
+		e.AddDomain(d)
+	}
+	return e
+}
+
+// AddDomain registers a clock domain with the engine.
+func (e *Engine) AddDomain(d *Domain) {
+	d.order = len(e.domains)
+	d.next = e.now + d.period
+	e.domains = append(e.domains, d)
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Picoseconds { return e.now }
+
+// Stop requests that Run and RunFor return after the current time step
+// completes. It is safe to call from inside a Tick.
+func (e *Engine) Stop() { e.stop = true }
+
+// Step advances simulated time to the next clock edge of any domain and ticks
+// every domain whose edge falls on that instant, in registration order.
+// It reports whether any work was done (false when no domains exist).
+func (e *Engine) Step() bool {
+	if len(e.domains) == 0 {
+		return false
+	}
+	next := e.domains[0].next
+	for _, d := range e.domains[1:] {
+		if d.next < next {
+			next = d.next
+		}
+	}
+	e.now = next
+	// Collect due domains in registration order so that simultaneous edges
+	// across domains are deterministic.
+	due := e.domains[:0:0]
+	for _, d := range e.domains {
+		if d.next == next {
+			due = append(due, d)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].order < due[j].order })
+	for _, d := range due {
+		for _, t := range d.tickers {
+			t.Tick(d.cycle)
+		}
+		d.cycle++
+		d.next += d.period
+	}
+	return true
+}
+
+// RunFor advances the simulation by the given amount of simulated time, or
+// until Stop is called.
+func (e *Engine) RunFor(dur Picoseconds) {
+	deadline := e.now + dur
+	e.stop = false
+	for !e.stop && e.now < deadline {
+		if !e.Step() {
+			return
+		}
+	}
+}
+
+// RunUntil advances the simulation until the predicate returns true (checked
+// after every time step), Stop is called, or the time limit elapses. It
+// reports whether the predicate was satisfied.
+func (e *Engine) RunUntil(limit Picoseconds, done func() bool) bool {
+	deadline := e.now + limit
+	e.stop = false
+	for !e.stop && e.now < deadline {
+		if !e.Step() {
+			return done()
+		}
+		if done() {
+			return true
+		}
+	}
+	return done()
+}

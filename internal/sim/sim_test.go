@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestDomainPeriod(t *testing.T) {
+	cases := []struct {
+		hz   float64
+		want Picoseconds
+	}{
+		{200e6, 5000},
+		{166e6, 6024},
+		{500e6, 2000},
+		{1e9, 1000},
+		{10e9, 100},
+	}
+	for _, c := range cases {
+		d := NewDomain("d", c.hz)
+		if d.Period() != c.want {
+			t.Errorf("NewDomain(%v).Period() = %d, want %d", c.hz, d.Period(), c.want)
+		}
+	}
+}
+
+func TestDomainPanicsOnZeroFrequency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDomain with zero frequency did not panic")
+		}
+	}()
+	NewDomain("bad", 0)
+}
+
+func TestEngineSingleDomainTickCount(t *testing.T) {
+	d := NewDomain("cpu", 200e6) // 5 ns period
+	var ticks uint64
+	d.Add(TickFunc(func(cycle uint64) {
+		if cycle != ticks {
+			t.Fatalf("cycle = %d, want %d", cycle, ticks)
+		}
+		ticks++
+	}))
+	e := NewEngine(d)
+	e.RunFor(Microsecond) // 1 µs / 5 ns = 200 cycles
+	if ticks != 200 {
+		t.Errorf("ticks = %d, want 200", ticks)
+	}
+}
+
+func TestEngineInterleavesDomainsProportionally(t *testing.T) {
+	fast := NewDomain("sdram", 500e6)
+	slow := NewDomain("cpu", 100e6)
+	var fastTicks, slowTicks int
+	fast.Add(TickFunc(func(uint64) { fastTicks++ }))
+	slow.Add(TickFunc(func(uint64) { slowTicks++ }))
+	e := NewEngine(fast, slow)
+	e.RunFor(10 * Microsecond)
+	if fastTicks != 5*slowTicks {
+		t.Errorf("fast=%d slow=%d, want exact 5:1 ratio", fastTicks, slowTicks)
+	}
+	if slowTicks != 1000 {
+		t.Errorf("slowTicks = %d, want 1000", slowTicks)
+	}
+}
+
+func TestEngineSimultaneousEdgesRunInRegistrationOrder(t *testing.T) {
+	a := NewDomain("a", 100e6)
+	b := NewDomain("b", 100e6)
+	var order []string
+	a.Add(TickFunc(func(uint64) { order = append(order, "a") }))
+	b.Add(TickFunc(func(uint64) { order = append(order, "b") }))
+	e := NewEngine(a, b)
+	e.Step()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order = %v, want [a b]", order)
+	}
+}
+
+func TestEngineStopFromTicker(t *testing.T) {
+	d := NewDomain("d", 100e6)
+	e := NewEngine(d)
+	var ticks int
+	d.Add(TickFunc(func(uint64) {
+		ticks++
+		if ticks == 3 {
+			e.Stop()
+		}
+	}))
+	e.RunFor(Second)
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3 (Stop should halt the run)", ticks)
+	}
+}
+
+func TestRunUntilPredicate(t *testing.T) {
+	d := NewDomain("d", 100e6)
+	var ticks int
+	d.Add(TickFunc(func(uint64) { ticks++ }))
+	e := NewEngine(d)
+	ok := e.RunUntil(Second, func() bool { return ticks >= 10 })
+	if !ok {
+		t.Fatal("RunUntil reported predicate unsatisfied")
+	}
+	if ticks != 10 {
+		t.Errorf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestRunUntilTimeLimit(t *testing.T) {
+	d := NewDomain("d", 100e6) // 10 ns period
+	var ticks int
+	d.Add(TickFunc(func(uint64) { ticks++ }))
+	e := NewEngine(d)
+	ok := e.RunUntil(Microsecond, func() bool { return false })
+	if ok {
+		t.Fatal("RunUntil reported success for unsatisfiable predicate")
+	}
+	if ticks != 100 {
+		t.Errorf("ticks = %d, want 100", ticks)
+	}
+}
+
+func TestPicosecondsSeconds(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("(2*Second).Seconds() = %v, want 2.0", got)
+	}
+	if got := (500 * Millisecond).Seconds(); got != 0.5 {
+		t.Errorf("(500ms).Seconds() = %v, want 0.5", got)
+	}
+}
+
+func TestEngineTimeAdvancesMonotonically(t *testing.T) {
+	a := NewDomain("a", 166e6)
+	b := NewDomain("b", 500e6)
+	c := NewDomain("c", 10e9)
+	e := NewEngine(a, b, c)
+	last := e.Now()
+	for i := 0; i < 10000; i++ {
+		e.Step()
+		if e.Now() < last {
+			t.Fatalf("time went backwards: %d -> %d", last, e.Now())
+		}
+		last = e.Now()
+	}
+}

@@ -1,0 +1,312 @@
+// Package smpcache is a trace-driven multiprocessor cache coherence
+// simulator, the reproduction's stand-in for the SMPCache tool the paper used
+// to evaluate whether coherent caches could hold NIC frame metadata
+// (Figure 3).
+//
+// It models per-processor fully-associative caches with LRU replacement and
+// the MESI invalidation protocol, driven by data-access traces filtered to
+// frame metadata. The paper's configuration: up to eight caches, 16-byte
+// lines (small, to avoid false sharing), and per-cache sizes swept from 16
+// bytes to 32 KB.
+package smpcache
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// State is a MESI line state. Invalid lines are simply absent.
+type State uint8
+
+// MESI states for resident lines.
+const (
+	Modified State = iota
+	Exclusive
+	Shared
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Modified:
+		return "M"
+	case Exclusive:
+		return "E"
+	}
+	return "S"
+}
+
+// Config describes the cache organization under test.
+type Config struct {
+	Caches     int // number of per-processor caches
+	CacheBytes int // capacity of each cache
+	LineBytes  int
+}
+
+// Sim is one coherence simulation.
+type Sim struct {
+	cfg   Config
+	lines int
+	sets  []cacheSet
+
+	Hits         []stats.Counter
+	Misses       []stats.Counter
+	Writes       stats.Counter
+	Invalidating stats.Counter // writes that invalidated a copy elsewhere
+	Writebacks   stats.Counter
+}
+
+type cacheSet struct {
+	byLine map[uint32]*list.Element // line address -> entry
+	lru    *list.List               // front = most recent
+}
+
+type entry struct {
+	line  uint32
+	state State
+}
+
+// New creates a simulator. Each cache holds CacheBytes/LineBytes lines; a
+// capacity below one line panics.
+func New(cfg Config) *Sim {
+	lines := cfg.CacheBytes / cfg.LineBytes
+	if cfg.Caches <= 0 || lines < 1 || cfg.LineBytes <= 0 {
+		panic(fmt.Sprintf("smpcache: bad config %+v", cfg))
+	}
+	s := &Sim{
+		cfg:    cfg,
+		lines:  lines,
+		sets:   make([]cacheSet, cfg.Caches),
+		Hits:   make([]stats.Counter, cfg.Caches),
+		Misses: make([]stats.Counter, cfg.Caches),
+	}
+	for i := range s.sets {
+		s.sets[i] = cacheSet{byLine: map[uint32]*list.Element{}, lru: list.New()}
+	}
+	return s
+}
+
+// Access processes one reference through the MESI protocol.
+func (s *Sim) Access(ref trace.MemRef) {
+	if ref.Proc < 0 || ref.Proc >= s.cfg.Caches {
+		panic(fmt.Sprintf("smpcache: processor %d out of range", ref.Proc))
+	}
+	line := ref.Addr / uint32(s.cfg.LineBytes)
+	c := &s.sets[ref.Proc]
+	if ref.Write {
+		s.Writes.Inc()
+	}
+
+	if el, ok := c.byLine[line]; ok {
+		// Hit.
+		s.Hits[ref.Proc].Inc()
+		c.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		if ref.Write && e.state != Modified {
+			// S -> M requires invalidating other copies; E -> M is silent.
+			if e.state == Shared {
+				if s.invalidateOthers(ref.Proc, line) {
+					s.Invalidating.Inc()
+				}
+			}
+			e.state = Modified
+		}
+		return
+	}
+
+	// Miss.
+	s.Misses[ref.Proc].Inc()
+	var st State
+	if ref.Write {
+		// Read-for-ownership: every other copy is invalidated.
+		if s.invalidateOthers(ref.Proc, line) {
+			s.Invalidating.Inc()
+		}
+		st = Modified
+	} else {
+		// Read miss: downgrade any Modified/Exclusive owner to Shared.
+		shared := false
+		for p := range s.sets {
+			if p == ref.Proc {
+				continue
+			}
+			if el, ok := s.sets[p].byLine[line]; ok {
+				e := el.Value.(*entry)
+				if e.state == Modified {
+					s.Writebacks.Inc()
+				}
+				e.state = Shared
+				shared = true
+			}
+		}
+		if shared {
+			st = Shared
+		} else {
+			st = Exclusive
+		}
+	}
+	s.insert(ref.Proc, line, st)
+}
+
+// invalidateOthers removes the line from every other cache, reporting
+// whether any copy existed.
+func (s *Sim) invalidateOthers(proc int, line uint32) bool {
+	any := false
+	for p := range s.sets {
+		if p == proc {
+			continue
+		}
+		c := &s.sets[p]
+		if el, ok := c.byLine[line]; ok {
+			if el.Value.(*entry).state == Modified {
+				s.Writebacks.Inc()
+			}
+			c.lru.Remove(el)
+			delete(c.byLine, line)
+			any = true
+		}
+	}
+	return any
+}
+
+// insert places a line at MRU, evicting LRU on overflow.
+func (s *Sim) insert(proc int, line uint32, st State) {
+	c := &s.sets[proc]
+	if c.lru.Len() >= s.lines {
+		victim := c.lru.Back()
+		ve := victim.Value.(*entry)
+		if ve.state == Modified {
+			s.Writebacks.Inc()
+		}
+		c.lru.Remove(victim)
+		delete(c.byLine, ve.line)
+	}
+	c.byLine[line] = c.lru.PushFront(&entry{line: line, state: st})
+}
+
+// Run processes a whole trace.
+func (s *Sim) Run(refs []trace.MemRef) {
+	for _, r := range refs {
+		s.Access(r)
+	}
+}
+
+// StateOf reports the MESI state of the line containing addr in the given
+// cache; ok is false for Invalid (absent).
+func (s *Sim) StateOf(proc int, addr uint32) (State, bool) {
+	line := addr / uint32(s.cfg.LineBytes)
+	if el, ok := s.sets[proc].byLine[line]; ok {
+		return el.Value.(*entry).state, true
+	}
+	return 0, false
+}
+
+// Resident returns the number of lines currently held by a cache.
+func (s *Sim) Resident(proc int) int { return s.sets[proc].lru.Len() }
+
+// CollectiveHitRatio returns total hits over total accesses across all
+// caches, the quantity plotted in the paper's Figure 3.
+func (s *Sim) CollectiveHitRatio() float64 {
+	var h, m uint64
+	for i := range s.Hits {
+		h += s.Hits[i].Value()
+		m += s.Misses[i].Value()
+	}
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// InvalidationRate returns the fraction of write accesses that invalidated a
+// copy in another cache (paper: below 1%).
+func (s *Sim) InvalidationRate() float64 {
+	if s.Writes.Value() == 0 {
+		return 0
+	}
+	return float64(s.Invalidating.Value()) / float64(s.Writes.Value())
+}
+
+// CheckInvariants verifies MESI single-writer/multiple-reader coherence
+// across all caches and capacity bounds, returning an error describing the
+// first violation. Tests and the property harness call it after every run.
+func (s *Sim) CheckInvariants() error {
+	owners := map[uint32][]int{}
+	for p := range s.sets {
+		if got := s.sets[p].lru.Len(); got > s.lines {
+			return fmt.Errorf("cache %d holds %d lines, capacity %d", p, got, s.lines)
+		}
+		if got, want := s.sets[p].lru.Len(), len(s.sets[p].byLine); got != want {
+			return fmt.Errorf("cache %d: lru %d entries, index %d", p, got, want)
+		}
+		for line, el := range s.sets[p].byLine {
+			if el.Value.(*entry).state != Shared {
+				owners[line] = append(owners[line], p)
+			}
+		}
+	}
+	for line, procs := range owners {
+		if len(procs) > 1 {
+			return fmt.Errorf("line %#x exclusively owned by caches %v", line, procs)
+		}
+		p := procs[0]
+		// An M/E line must not coexist with copies elsewhere.
+		for q := range s.sets {
+			if q == p {
+				continue
+			}
+			if _, ok := s.sets[q].byLine[line]; ok {
+				return fmt.Errorf("line %#x owned by %d but present in %d", line, p, q)
+			}
+		}
+	}
+	return nil
+}
+
+// SweepPoint is one point of the Figure 3 curve.
+type SweepPoint struct {
+	CacheBytes   int
+	HitRatio     float64
+	InvalRate    float64
+	Writebacks   uint64
+	TotalAccess  uint64
+	TotalMisses  uint64
+	LinesPerSide int
+}
+
+// Sweep runs the trace at each cache size and returns the hit-ratio curve.
+func Sweep(refs []trace.MemRef, caches, lineBytes int, sizes []int) []SweepPoint {
+	out := make([]SweepPoint, 0, len(sizes))
+	for _, size := range sizes {
+		s := New(Config{Caches: caches, CacheBytes: size, LineBytes: lineBytes})
+		s.Run(refs)
+		var h, m uint64
+		for i := range s.Hits {
+			h += s.Hits[i].Value()
+			m += s.Misses[i].Value()
+		}
+		out = append(out, SweepPoint{
+			CacheBytes:   size,
+			HitRatio:     s.CollectiveHitRatio(),
+			InvalRate:    s.InvalidationRate(),
+			Writebacks:   s.Writebacks.Value(),
+			TotalAccess:  h + m,
+			TotalMisses:  m,
+			LinesPerSide: s.lines,
+		})
+	}
+	return out
+}
+
+// PaperSizes returns the cache-size sweep of Figure 3: 16 B through 32 KB in
+// powers of two.
+func PaperSizes() []int {
+	var sizes []int
+	for s := 16; s <= 32*1024; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}

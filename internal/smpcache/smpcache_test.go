@@ -1,0 +1,226 @@
+package smpcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func cfg2() Config { return Config{Caches: 2, CacheBytes: 256, LineBytes: 16} }
+
+func TestReadMissLoadsExclusive(t *testing.T) {
+	s := New(cfg2())
+	s.Access(trace.MemRef{Proc: 0, Addr: 0x100})
+	if st, ok := s.StateOf(0, 0x100); !ok || st != Exclusive {
+		t.Errorf("state = %v,%v, want E", st, ok)
+	}
+}
+
+func TestSecondReaderSharesAndDowngrades(t *testing.T) {
+	s := New(cfg2())
+	s.Access(trace.MemRef{Proc: 0, Addr: 0x100})
+	s.Access(trace.MemRef{Proc: 1, Addr: 0x104}) // same 16B line
+	st0, _ := s.StateOf(0, 0x100)
+	st1, _ := s.StateOf(1, 0x100)
+	if st0 != Shared || st1 != Shared {
+		t.Errorf("states = %v,%v, want S,S", st0, st1)
+	}
+}
+
+func TestWriteHitOnExclusiveSilentUpgrade(t *testing.T) {
+	s := New(cfg2())
+	s.Access(trace.MemRef{Proc: 0, Addr: 0x100})
+	s.Access(trace.MemRef{Proc: 0, Addr: 0x100, Write: true})
+	if st, _ := s.StateOf(0, 0x100); st != Modified {
+		t.Errorf("state = %v, want M", st)
+	}
+	if s.Invalidating.Value() != 0 {
+		t.Error("E->M upgrade counted as invalidating")
+	}
+}
+
+func TestWriteToSharedInvalidatesOthers(t *testing.T) {
+	s := New(cfg2())
+	s.Access(trace.MemRef{Proc: 0, Addr: 0x100})
+	s.Access(trace.MemRef{Proc: 1, Addr: 0x100})
+	s.Access(trace.MemRef{Proc: 0, Addr: 0x100, Write: true})
+	if st, _ := s.StateOf(0, 0x100); st != Modified {
+		t.Errorf("writer state = %v, want M", st)
+	}
+	if _, ok := s.StateOf(1, 0x100); ok {
+		t.Error("other copy not invalidated")
+	}
+	if s.Invalidating.Value() != 1 {
+		t.Errorf("invalidating writes = %d, want 1", s.Invalidating.Value())
+	}
+}
+
+func TestWriteMissRFOInvalidatesModifiedOwner(t *testing.T) {
+	s := New(cfg2())
+	s.Access(trace.MemRef{Proc: 0, Addr: 0x100, Write: true}) // P0 gets M
+	s.Access(trace.MemRef{Proc: 1, Addr: 0x100, Write: true}) // RFO
+	if _, ok := s.StateOf(0, 0x100); ok {
+		t.Error("old owner still holds the line")
+	}
+	if st, _ := s.StateOf(1, 0x100); st != Modified {
+		t.Errorf("new owner state = %v, want M", st)
+	}
+	if s.Writebacks.Value() != 1 {
+		t.Errorf("writebacks = %d, want 1 (dirty line flushed)", s.Writebacks.Value())
+	}
+}
+
+func TestReadOfModifiedCausesWritebackAndShare(t *testing.T) {
+	s := New(cfg2())
+	s.Access(trace.MemRef{Proc: 0, Addr: 0x100, Write: true})
+	s.Access(trace.MemRef{Proc: 1, Addr: 0x100})
+	st0, _ := s.StateOf(0, 0x100)
+	st1, _ := s.StateOf(1, 0x100)
+	if st0 != Shared || st1 != Shared {
+		t.Errorf("states = %v,%v, want S,S", st0, st1)
+	}
+	if s.Writebacks.Value() != 1 {
+		t.Errorf("writebacks = %d, want 1", s.Writebacks.Value())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4-line cache: fill 4 lines, touch the first, insert a fifth; the
+	// second line must be the victim.
+	s := New(Config{Caches: 1, CacheBytes: 64, LineBytes: 16})
+	for i := 0; i < 4; i++ {
+		s.Access(trace.MemRef{Proc: 0, Addr: uint32(i) * 16})
+	}
+	s.Access(trace.MemRef{Proc: 0, Addr: 0}) // refresh line 0
+	s.Access(trace.MemRef{Proc: 0, Addr: 4 * 16})
+	if _, ok := s.StateOf(0, 0); !ok {
+		t.Error("recently used line evicted")
+	}
+	if _, ok := s.StateOf(0, 16); ok {
+		t.Error("LRU line survived")
+	}
+	if s.Resident(0) != 4 {
+		t.Errorf("resident = %d, want 4", s.Resident(0))
+	}
+}
+
+func TestHitRatioComputation(t *testing.T) {
+	s := New(cfg2())
+	s.Access(trace.MemRef{Proc: 0, Addr: 0}) // miss
+	s.Access(trace.MemRef{Proc: 0, Addr: 0}) // hit
+	s.Access(trace.MemRef{Proc: 0, Addr: 4}) // hit (same line)
+	s.Access(trace.MemRef{Proc: 1, Addr: 0}) // miss
+	if got := s.CollectiveHitRatio(); got != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", got)
+	}
+}
+
+func TestInvariantsAfterRandomTrace(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := New(Config{Caches: 8, CacheBytes: 128, LineBytes: 16})
+	for i := 0; i < 100000; i++ {
+		s.Access(trace.MemRef{
+			Proc:  r.Intn(8),
+			Addr:  uint32(r.Intn(4096)) * 4,
+			Write: r.Intn(3) == 0,
+		})
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoherencePropertyQuick(t *testing.T) {
+	// Property: after any access sequence, MESI invariants hold and a
+	// written-then-read line returns to coherent shared state.
+	f := func(ops []uint16) bool {
+		s := New(Config{Caches: 4, CacheBytes: 64, LineBytes: 16})
+		for _, op := range ops {
+			s.Access(trace.MemRef{
+				Proc:  int(op) % 4,
+				Addr:  uint32(op>>2) % 512 * 4,
+				Write: op&0x8000 != 0,
+			})
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepMonotoneForPrivateWorkingSets(t *testing.T) {
+	// Disjoint per-processor working sets with reuse: the hit ratio must
+	// grow with capacity until the working set fits, then plateau.
+	var refs []trace.MemRef
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		p := r.Intn(4)
+		refs = append(refs, trace.MemRef{
+			Proc: p,
+			Addr: uint32(p)*65536 + uint32(r.Intn(256))*4, // 1 KB per proc
+		})
+	}
+	pts := Sweep(refs, 4, 16, []int{64, 256, 1024, 4096})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].HitRatio+1e-9 < pts[i-1].HitRatio {
+			t.Errorf("hit ratio fell with size: %v -> %v", pts[i-1], pts[i])
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.HitRatio < 0.99 {
+		t.Errorf("fitting working set hit ratio = %.3f, want ~1", last.HitRatio)
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	sizes := PaperSizes()
+	if sizes[0] != 16 || sizes[len(sizes)-1] != 32*1024 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if len(sizes) != 12 {
+		t.Errorf("len = %d, want 12 (16B..32KB)", len(sizes))
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for cache smaller than a line")
+		}
+	}()
+	New(Config{Caches: 1, CacheBytes: 8, LineBytes: 16})
+}
+
+func TestMigratoryMetadataHasLowHitRatio(t *testing.T) {
+	// The paper's key negative result: frame metadata migrates from
+	// processor to processor (each frame's descriptor is touched by whichever
+	// core picks up the event, then never again by that core), so caching is
+	// ineffective regardless of size. Model: each descriptor is written and
+	// read a few times by ONE random core, then retired; cores rarely re-see
+	// an address.
+	r := rand.New(rand.NewSource(9))
+	var refs []trace.MemRef
+	next := uint32(0)
+	for frame := 0; frame < 20000; frame++ {
+		p := r.Intn(6)
+		base := next
+		next += 64 // fresh 2-line descriptor per frame
+		for _, off := range []uint32{0, 4, 16, 20} {
+			refs = append(refs, trace.MemRef{Proc: p, Addr: base + off, Write: off == 0})
+		}
+		// A hardware progress pointer polled (and advanced) by another core:
+		// genuinely shared, read-write, no locality.
+		q := r.Intn(6)
+		refs = append(refs, trace.MemRef{Proc: q, Addr: 0xf0000, Write: r.Intn(4) == 0})
+	}
+	pts := Sweep(refs, 6, 16, []int{1024, 32 * 1024})
+	for _, pt := range pts {
+		if pt.HitRatio > 0.60 {
+			t.Errorf("size %d: hit ratio %.3f — migratory metadata should stay below ~0.55-0.6",
+				pt.CacheBytes, pt.HitRatio)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import "math/rand"
+
+// SynthProfile parameterizes a synthetic dynamic instruction trace with the
+// statistical structure of NIC firmware: the instruction mix, the fraction
+// of loads whose value is consumed by the immediately following instruction
+// (the paper reports 50% of loads cause load-to-use dependences), and the
+// branch density and bias of event-loop control flow.
+//
+// The reproduction uses this generator where the paper used a dynamic trace
+// of the full Tigon-derived firmware, which is proprietary; the firmware
+// ordering kernels contribute real traces that are concatenated with this
+// synthetic body (see package fwkernels).
+type SynthProfile struct {
+	LoadFrac    float64 // fraction of instructions that are loads
+	StoreFrac   float64
+	BranchFrac  float64
+	JumpFrac    float64
+	LoadUseFrac float64 // P(next instruction consumes a load's result)
+	TakenFrac   float64 // P(branch taken)
+	Seed        int64
+}
+
+// FirmwareProfile returns the mix calibrated to the paper's firmware
+// characterization: roughly one data access per three instructions with
+// loads 56% of accesses, half of all loads feeding the next instruction,
+// and the dense conditional control flow of an event dispatch loop.
+func FirmwareProfile() SynthProfile {
+	return SynthProfile{
+		LoadFrac:    0.18,
+		StoreFrac:   0.12,
+		BranchFrac:  0.24,
+		JumpFrac:    0.04,
+		LoadUseFrac: 0.55,
+		TakenFrac:   0.60,
+		Seed:        1,
+	}
+}
+
+// Synthesize generates n instructions under the profile. The trace is
+// deterministic for a given profile (including seed).
+func (p SynthProfile) Synthesize(n int) []Inst {
+	r := rand.New(rand.NewSource(p.Seed))
+	out := make([]Inst, 0, n)
+	pc := uint32(0x1000)
+	// Working registers $t0..$s7 (8..23); recent destinations provide
+	// realistic short dependence distances.
+	recent := []int8{8, 9, 10}
+	nextReg := int8(8)
+	forceSrc := int8(-1) // load-use forcing
+
+	pickSrc := func() int8 {
+		// Geometric-ish preference for recently produced values.
+		back := r.Intn(4)
+		if b2 := r.Intn(4); b2 < back {
+			back = b2
+		}
+		if back > len(recent)-1 {
+			back = len(recent) - 1
+		}
+		return recent[len(recent)-1-back]
+	}
+	dataAddr := func() uint32 {
+		// Metadata region accesses, word aligned, 64 KB working set.
+		return 0x8000 + uint32(r.Intn(16*1024))*4
+	}
+
+	for len(out) < n {
+		in := Inst{PC: pc, Dst: -1, Src1: -1, Src2: -1}
+		x := r.Float64()
+		switch {
+		case x < p.LoadFrac:
+			in.Kind = Load
+			in.Src1 = pickSrc()
+			in.Dst = nextReg
+			in.Addr = dataAddr()
+		case x < p.LoadFrac+p.StoreFrac:
+			in.Kind = Store
+			in.Src1 = pickSrc()
+			in.Src2 = pickSrc()
+			in.Addr = dataAddr()
+		case x < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+			in.Kind = Branch
+			in.Src1 = pickSrc()
+			in.Taken = r.Float64() < p.TakenFrac
+		case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.JumpFrac:
+			in.Kind = Jump
+		default:
+			in.Kind = ALU
+			in.Src1 = pickSrc()
+			if r.Intn(2) == 0 {
+				in.Src2 = pickSrc()
+			}
+			in.Dst = nextReg
+		}
+		if forceSrc >= 0 {
+			in.Src1 = forceSrc
+			forceSrc = -1
+		}
+		if in.Kind == Load && r.Float64() < p.LoadUseFrac {
+			forceSrc = in.Dst
+		}
+		if in.Dst >= 0 {
+			recent = append(recent, in.Dst)
+			if len(recent) > 8 {
+				recent = recent[1:]
+			}
+			nextReg++
+			if nextReg > 23 {
+				nextReg = 8
+			}
+		}
+		out = append(out, in)
+		if in.Kind == Branch && in.Taken {
+			pc = pc - uint32(r.Intn(32))*4 // loop back edges dominate
+		} else if in.Kind == Jump {
+			pc = 0x1000 + uint32(r.Intn(2048))*4
+		} else {
+			pc += 4
+		}
+	}
+	return out
+}

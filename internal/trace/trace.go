@@ -1,0 +1,90 @@
+// Package trace defines the dynamic instruction and memory reference records
+// shared by the ISA interpreter (which produces them), the ILP limit analyzer
+// (paper Table 2), and the MESI cache simulator (paper Figure 3).
+package trace
+
+import "fmt"
+
+// Kind classifies a dynamic instruction for timing analysis.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	ALU    Kind = iota // register-to-register arithmetic/logic
+	Load               // memory read into a register
+	Store              // memory write
+	Branch             // conditional branch (one delay slot)
+	Jump               // unconditional jump/call/return
+	RMW                // atomic set/update scratchpad operation
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case ALU:
+		return "alu"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case Jump:
+		return "jump"
+	case RMW:
+		return "rmw"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// An Inst is one dynamically executed instruction.
+//
+// Register numbers are architectural (0-31); -1 means "none". Register 0 is
+// hardwired zero and never creates a dependence; producers of register 0 are
+// recorded with Dst = -1.
+type Inst struct {
+	PC    uint32
+	Kind  Kind
+	Dst   int8
+	Src1  int8
+	Src2  int8
+	Addr  uint32 // effective address for Load/Store/RMW
+	Taken bool   // branch outcome for Branch
+}
+
+// A MemRef is one data memory reference attributed to a processor or assist,
+// the record consumed by the coherence simulator.
+type MemRef struct {
+	Proc  int
+	Addr  uint32
+	Write bool
+}
+
+// Interleave merges several reference streams into one round-robin stream
+// attributed to a single processor, reproducing the paper's workaround for
+// SMPCache's eight-cache limit ("the DMA read and write assist traces were
+// interleaved to form a single trace, as were the MAC transmit and receive
+// traces").
+func Interleave(proc int, streams ...[]MemRef) []MemRef {
+	var total int
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]MemRef, 0, total)
+	idx := make([]int, len(streams))
+	for {
+		progressed := false
+		for i, s := range streams {
+			if idx[i] < len(s) {
+				r := s[idx[i]]
+				r.Proc = proc
+				out = append(out, r)
+				idx[i]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}

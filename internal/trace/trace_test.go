@@ -1,0 +1,89 @@
+package trace
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		ALU: "alu", Load: "load", Store: "store", Branch: "branch",
+		Jump: "jump", RMW: "rmw",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestInterleaveRoundRobinAndReattribution(t *testing.T) {
+	a := []MemRef{{Proc: 10, Addr: 1}, {Proc: 10, Addr: 2}, {Proc: 10, Addr: 3}}
+	b := []MemRef{{Proc: 11, Addr: 100, Write: true}}
+	out := Interleave(7, a, b)
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Round-robin: a[0], b[0], a[1], a[2]; all attributed to proc 7.
+	wantAddrs := []uint32{1, 100, 2, 3}
+	for i, r := range out {
+		if r.Proc != 7 {
+			t.Errorf("ref %d proc = %d, want 7", i, r.Proc)
+		}
+		if r.Addr != wantAddrs[i] {
+			t.Errorf("ref %d addr = %d, want %d", i, r.Addr, wantAddrs[i])
+		}
+	}
+	if !out[1].Write {
+		t.Error("write flag lost in interleave")
+	}
+}
+
+func TestInterleaveEmpty(t *testing.T) {
+	if got := Interleave(0); len(got) != 0 {
+		t.Errorf("Interleave() = %v", got)
+	}
+	if got := Interleave(0, nil, nil); len(got) != 0 {
+		t.Errorf("Interleave(nil, nil) = %v", got)
+	}
+}
+
+func TestSynthesizeDeterministicAndSized(t *testing.T) {
+	p := FirmwareProfile()
+	a := p.Synthesize(5000)
+	b := p.Synthesize(5000)
+	if len(a) != 5000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSynthesizeMixNearProfile(t *testing.T) {
+	p := FirmwareProfile()
+	tr := p.Synthesize(100000)
+	counts := map[Kind]int{}
+	loadUse := 0
+	for i, in := range tr {
+		counts[in.Kind]++
+		if in.Kind == Load && i+1 < len(tr) && tr[i+1].Src1 == in.Dst {
+			loadUse++
+		}
+	}
+	frac := func(k Kind) float64 { return float64(counts[k]) / float64(len(tr)) }
+	if got := frac(Load); got < p.LoadFrac-0.02 || got > p.LoadFrac+0.02 {
+		t.Errorf("load fraction = %.3f, want ~%.2f", got, p.LoadFrac)
+	}
+	if got := frac(Branch); got < p.BranchFrac-0.02 || got > p.BranchFrac+0.02 {
+		t.Errorf("branch fraction = %.3f, want ~%.2f", got, p.BranchFrac)
+	}
+	if got := float64(loadUse) / float64(counts[Load]); got < p.LoadUseFrac-0.05 {
+		t.Errorf("load-use fraction = %.3f, want >= ~%.2f", got, p.LoadUseFrac)
+	}
+	// Register 0 must never appear as a destination.
+	for _, in := range tr {
+		if in.Dst == 0 {
+			t.Fatal("register 0 used as destination")
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	c := New(64 * 1024)
+	if err := c.Load(asm.MustAssemble(src)); err != nil {
+		t.Fatal(err)
+	}
+	halted, err := c.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatal("program did not halt")
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := run(t, `
+        li    $t0, 10
+        li    $t1, 3
+        addu  $t2, $t0, $t1     # 13
+        subu  $t3, $t0, $t1     # 7
+        and   $t4, $t0, $t1     # 2
+        or    $t5, $t0, $t1     # 11
+        xor   $t6, $t0, $t1     # 9
+        slt   $t7, $t1, $t0     # 1
+        sll   $s0, $t0, 2       # 40
+        sra   $s1, $t0, 1       # 5
+        break
+`)
+	want := map[int]uint32{10: 13, 11: 7, 12: 2, 13: 11, 14: 9, 15: 1, 16: 40, 17: 5}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("reg %d = %d, want %d", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// Sum 1..100 = 5050.
+	c := run(t, `
+        li    $t0, 100
+        li    $v0, 0
+loop:   addu  $v0, $v0, $t0
+        addiu $t0, $t0, -1
+        bnez  $t0, loop
+        nop
+        break
+`)
+	if c.Regs[2] != 5050 {
+		t.Errorf("sum = %d, want 5050", c.Regs[2])
+	}
+}
+
+func TestBranchDelaySlotExecutes(t *testing.T) {
+	// The instruction after a taken branch executes (one delay slot).
+	c := run(t, `
+        li    $t0, 1
+        b     over
+        li    $t1, 42       # delay slot: must execute (first word of li)
+over:   break
+`)
+	// li expands to lui+ori; only the lui lands in the delay slot, so $t1
+	// holds the high half only.
+	if c.Regs[9] != 0 {
+		t.Errorf("$t1 = %#x; lui 0 in delay slot should leave 0", c.Regs[9])
+	}
+	// Now with a single-word instruction in the slot.
+	c = run(t, `
+        li    $t0, 1
+        b     over
+        addiu $t1, $zero, 42   # delay slot: must execute
+over:   break
+`)
+	if c.Regs[9] != 42 {
+		t.Errorf("$t1 = %d, want 42 (delay slot skipped?)", c.Regs[9])
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	c := run(t, `
+        li    $a0, 21
+        jal   double
+        nop
+        move  $s0, $v0
+        break
+double: addu  $v0, $a0, $a0
+        jr    $ra
+        nop
+`)
+	if c.Regs[16] != 42 {
+		t.Errorf("double(21) = %d, want 42", c.Regs[16])
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	c := run(t, `
+        la    $a0, buf
+        li    $t0, 0x1234
+        sw    $t0, 0($a0)
+        sw    $t0, 4($a0)
+        lw    $t1, 0($a0)
+        addu  $t1, $t1, $t1
+        sw    $t1, 8($a0)
+        break
+buf:    .space 16
+`)
+	addr := uint32(0)
+	// buf follows 8 instruction words (la=2, li=2, 3 sw, 1 lw, addu, break = 10 words).
+	addr = 10 * 4
+	v, err := c.Read32(addr + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x2468 {
+		t.Errorf("mem = %#x, want 0x2468", v)
+	}
+}
+
+func TestLLSCSpinlockAcquires(t *testing.T) {
+	c := run(t, `
+        la    $a0, lock
+acq:    ll    $t1, 0($a0)
+        bnez  $t1, acq
+        li    $t0, 1            # delay slot + next
+        sc    $t0, 0($a0)
+        beqz  $t0, acq
+        nop
+        lw    $s0, 0($a0)       # read back: 1 = held
+        break
+lock:   .word 0
+`)
+	if c.Regs[16] != 1 {
+		t.Errorf("lock value after acquire = %d, want 1", c.Regs[16])
+	}
+}
+
+func TestSCFailsWithoutLL(t *testing.T) {
+	c := run(t, `
+        la    $a0, lock
+        li    $t0, 1
+        sc    $t0, 0($a0)
+        break
+lock:   .word 0
+`)
+	if c.Regs[8] != 0 {
+		t.Errorf("sc without ll returned %d, want 0", c.Regs[8])
+	}
+}
+
+func TestSCFailsAfterInterveningStore(t *testing.T) {
+	c := run(t, `
+        la    $a0, lock
+        ll    $t1, 0($a0)
+        li    $t2, 9
+        sw    $t2, 0($a0)       # intervening store to the same address
+        li    $t0, 1
+        sc    $t0, 0($a0)
+        break
+lock:   .word 0
+`)
+	if c.Regs[8] != 0 {
+		t.Errorf("sc after intervening store returned %d, want 0", c.Regs[8])
+	}
+}
+
+func TestSetbAndUpd(t *testing.T) {
+	c := run(t, `
+        la    $a0, flags
+        li    $t0, 0
+        setb  $a0, $t0
+        li    $t0, 1
+        setb  $a0, $t0
+        li    $t0, 2
+        setb  $a0, $t0
+        upd   $v0, $a0          # clears bits 0-2, returns 2
+        upd   $v1, $a0          # nothing consecutive: returns -1
+        break
+flags:  .word 0, 0
+`)
+	if c.Regs[2] != 2 {
+		t.Errorf("upd returned %d, want 2", c.Regs[2])
+	}
+	if c.Regs[3] != 0xffffffff {
+		t.Errorf("second upd returned %#x, want -1", c.Regs[3])
+	}
+}
+
+func TestUpdStopsAtGap(t *testing.T) {
+	c := run(t, `
+        la    $a0, flags
+        li    $t0, 0
+        setb  $a0, $t0
+        li    $t0, 2
+        setb  $a0, $t0          # gap at bit 1
+        upd   $v0, $a0          # clears only bit 0
+        li    $t0, 1
+        setb  $a0, $t0          # fill the gap
+        upd   $v1, $a0          # clears bits 1-2, returns 2
+        break
+flags:  .word 0
+`)
+	if c.Regs[2] != 0 {
+		t.Errorf("first upd = %d, want 0", c.Regs[2])
+	}
+	if c.Regs[3] != 2 {
+		t.Errorf("second upd = %d, want 2", c.Regs[3])
+	}
+}
+
+func TestTraceEmission(t *testing.T) {
+	c := New(64 * 1024)
+	if err := c.Load(asm.MustAssemble(`
+        la    $a0, buf
+        lw    $t0, 0($a0)
+        addiu $t0, $t0, 1
+        sw    $t0, 0($a0)
+        bnez  $zero, nowhere
+        nop
+nowhere: break
+buf:    .word 7
+`)); err != nil {
+		t.Fatal(err)
+	}
+	var recs []trace.Inst
+	c.Trace = func(r trace.Inst) { recs = append(recs, r) }
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[trace.Kind]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+	}
+	if kinds[trace.Load] != 1 || kinds[trace.Store] != 1 || kinds[trace.Branch] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	// The load's record carries its effective address and destination.
+	for _, r := range recs {
+		if r.Kind == trace.Load {
+			if r.Dst != 8 {
+				t.Errorf("load Dst = %d, want 8", r.Dst)
+			}
+			if r.Addr == 0 {
+				t.Errorf("load Addr = 0")
+			}
+		}
+		if r.Kind == trace.Branch && r.Taken {
+			t.Errorf("bnez $zero must be not-taken")
+		}
+	}
+	if c.Instructions != uint64(len(recs)) {
+		t.Errorf("Instructions = %d, traced %d", c.Instructions, len(recs))
+	}
+}
+
+func TestStepWhileHaltedErrors(t *testing.T) {
+	c := run(t, "break")
+	if err := c.Step(); err == nil {
+		t.Error("Step on halted CPU succeeded")
+	}
+}
+
+func TestRunStopsAtMaxSteps(t *testing.T) {
+	c := New(4096)
+	if err := c.Load(asm.MustAssemble("spin: b spin\nnop")); err != nil {
+		t.Fatal(err)
+	}
+	halted, err := c.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halted {
+		t.Error("infinite loop reported halted")
+	}
+	if c.Instructions != 1000 {
+		t.Errorf("Instructions = %d, want 1000", c.Instructions)
+	}
+}
+
+func TestFetchFaultReported(t *testing.T) {
+	c := New(4096)
+	if err := c.Load(asm.MustAssemble("jr $ra\nnop")); err != nil {
+		t.Fatal(err)
+	}
+	c.Regs[31] = 0xfffffff0
+	if _, err := c.Run(10); err == nil {
+		t.Error("wild jump did not fault")
+	}
+}
+
+func TestByteAndHalfwordOps(t *testing.T) {
+	c := run(t, `
+        la    $a0, buf
+        li    $t0, 0x80
+        sb    $t0, 0($a0)
+        lb    $t1, 0($a0)       # sign-extends to -128
+        lbu   $t2, 0($a0)       # zero-extends to 128
+        li    $t3, 0x8001
+        sh    $t3, 2($a0)
+        lh    $t4, 2($a0)       # sign-extends
+        lhu   $t5, 2($a0)       # zero-extends
+        break
+buf:    .space 8
+`)
+	if got := int32(c.Regs[9]); got != -128 {
+		t.Errorf("lb = %d, want -128", got)
+	}
+	if c.Regs[10] != 128 {
+		t.Errorf("lbu = %d, want 128", c.Regs[10])
+	}
+	if got := int32(c.Regs[12]); got != -32767 {
+		t.Errorf("lh = %d, want -32767", got)
+	}
+	if c.Regs[13] != 0x8001 {
+		t.Errorf("lhu = %#x, want 0x8001", c.Regs[13])
+	}
+}
+
+func TestMultDivHiLo(t *testing.T) {
+	c := run(t, `
+        li    $t0, 100000
+        li    $t1, 100000
+        multu $t0, $t1          # 10^10 = 0x2540BE400
+        mfhi  $s0               # 2
+        mflo  $s1               # 0x540BE400
+        li    $t2, 17
+        li    $t3, 5
+        div   $t2, $t3
+        mflo  $s2               # 3
+        mfhi  $s3               # 2
+        break
+`)
+	if c.Regs[16] != 2 || c.Regs[17] != 0x540BE400 {
+		t.Errorf("multu hi/lo = %#x/%#x", c.Regs[16], c.Regs[17])
+	}
+	if c.Regs[18] != 3 || c.Regs[19] != 2 {
+		t.Errorf("div lo/hi = %d/%d, want 3/2", c.Regs[18], c.Regs[19])
+	}
+}
+
+func TestSignedMultiplyNegative(t *testing.T) {
+	c := run(t, `
+        li    $t0, 7
+        li    $t1, -3
+        mult  $t0, $t1
+        mflo  $s0
+        mfhi  $s1
+        break
+`)
+	if got := int32(c.Regs[16]); got != -21 {
+		t.Errorf("mult lo = %d, want -21", got)
+	}
+	if c.Regs[17] != 0xffffffff {
+		t.Errorf("mult hi = %#x, want sign extension", c.Regs[17])
+	}
+}
+
+func TestDivideByZeroLeavesHiLo(t *testing.T) {
+	c := run(t, `
+        li    $t0, 42
+        li    $t1, 7
+        divu  $t0, $t1
+        li    $t2, 0
+        divu  $t0, $t2          # undefined on MIPS; must not fault
+        mflo  $s0
+        break
+`)
+	if c.Regs[16] != 6 {
+		t.Errorf("lo after div-by-zero = %d, want 6 (unchanged)", c.Regs[16])
+	}
+}
+
+func TestRegimmBranches(t *testing.T) {
+	c := run(t, `
+        li    $t0, -5
+        li    $v0, 0
+        bltz  $t0, neg
+        nop
+        b     done
+        nop
+neg:    li    $v0, 1
+        bgez  $zero, done       # 0 >= 0: taken
+        nop
+        li    $v0, 99           # must be skipped
+done:   break
+`)
+	if c.Regs[2] != 1 {
+		t.Errorf("$v0 = %d, want 1", c.Regs[2])
+	}
+}
+
+// TestChecksumKernel runs a real Internet-checksum loop (the computation a
+// NIC performs per frame) and validates it against a Go reference.
+func TestChecksumKernel(t *testing.T) {
+	img := asm.MustAssemble(`
+# $a0 = buffer, $a1 = halfword count; returns one's-complement sum in $v0
+        li    $v0, 0
+loop:   lhu   $t0, 0($a0)
+        addu  $v0, $v0, $t0
+        addiu $a0, $a0, 2
+        addiu $a1, $a1, -1
+        bgtz  $a1, loop
+        nop
+fold:   srl   $t1, $v0, 16
+        beqz  $t1, done
+        nop
+        andi  $v0, $v0, 0xffff
+        addu  $v0, $v0, $t1
+        b     fold
+        nop
+done:   not   $v0, $v0
+        andi  $v0, $v0, 0xffff
+        break
+data:   .word 0x45000054, 0x1c460000, 0x40014006, 0xac100a63
+`)
+	c := New(64 * 1024)
+	if err := c.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	c.Regs[4] = img.Symbols["data"] // $a0
+	c.Regs[5] = 8                   // $a1: 8 halfwords
+	if halted, err := c.Run(10000); err != nil || !halted {
+		t.Fatalf("checksum kernel: halted=%v err=%v", halted, err)
+	}
+	// Reference: one's-complement sum of the same little-endian halfwords.
+	words := []uint32{0x45000054, 0x1c460000, 0x40014006, 0xac100a63}
+	sum := uint32(0)
+	for _, w := range words {
+		sum += w & 0xffff
+		sum += w >> 16
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	want := ^sum & 0xffff
+	if c.Regs[2] != want {
+		t.Errorf("checksum = %#x, want %#x", c.Regs[2], want)
+	}
+}

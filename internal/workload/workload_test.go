@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/ethernet"
+)
+
+func TestGeneratorSequencesAndSizes(t *testing.T) {
+	g := NewGenerator(1472, false)
+	f0 := g.Frame()
+	f1 := g.Frame()
+	if f0.Seq != 0 || f1.Seq != 1 {
+		t.Errorf("seqs = %d, %d", f0.Seq, f1.Seq)
+	}
+	if f0.Size != ethernet.MaxFrame {
+		t.Errorf("size = %d, want %d", f0.Size, ethernet.MaxFrame)
+	}
+	if g.Count() != 2 {
+		t.Errorf("count = %d", g.Count())
+	}
+}
+
+func TestGeneratorPayloadIntegrity(t *testing.T) {
+	g := NewGenerator(256, true)
+	g.Frame()
+	f := g.Frame() // seq 1
+	fr, err := ethernet.Unmarshal(f.Wire)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	p, err := ethernet.ParseUDPIPv4(fr.Payload)
+	if err != nil {
+		t.Fatalf("ParseUDPIPv4: %v", err)
+	}
+	if len(p.Payload) != 256 {
+		t.Errorf("payload size = %d", len(p.Payload))
+	}
+	if got := binary.BigEndian.Uint64(p.Payload); got != 1 {
+		t.Errorf("embedded seq = %d, want 1", got)
+	}
+}
+
+func TestSenderHonorsMaxFrames(t *testing.T) {
+	g := NewGenerator(100, false)
+	s := &Sender{G: g, MaxFrames: 2}
+	if s.Next() == nil || s.Next() == nil {
+		t.Fatal("first two frames missing")
+	}
+	if s.Next() != nil {
+		t.Error("third frame produced past MaxFrames")
+	}
+}
+
+func TestArrivalsHonorsMaxFrames(t *testing.T) {
+	g := NewGenerator(100, false)
+	a := &Arrivals{G: g, MaxFrames: 1}
+	if _, _, ok := a.Next(); !ok {
+		t.Fatal("first arrival missing")
+	}
+	if _, _, ok := a.Next(); ok {
+		t.Error("second arrival produced past MaxFrames")
+	}
+}
+
+func TestTxSinkOrderValidation(t *testing.T) {
+	g := NewGenerator(100, false)
+	s := &TxSink{}
+	f0, f1, f2 := g.Frame(), g.Frame(), g.Frame()
+	s.Transmit(f0)
+	s.Transmit(f2) // forward gap: not counted
+	s.Transmit(f1) // backwards: reordering
+	if s.OutOfOrder.Value() != 1 {
+		t.Errorf("out of order = %d, want 1", s.OutOfOrder.Value())
+	}
+	if s.Frames.Value() != 3 {
+		t.Errorf("frames = %d", s.Frames.Value())
+	}
+}
