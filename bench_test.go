@@ -1,12 +1,14 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ilp"
 	"repro/internal/smpcache"
+	"repro/internal/sweep"
 )
 
 // The benchmarks regenerate each of the paper's tables and figures once per
@@ -154,3 +156,31 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	cycles := experiments.Quick.Measure.Seconds() * 200e6 * float64(b.N)
 	b.ReportMetric(cycles/b.Elapsed().Seconds(), "sim-cycles/s")
 }
+
+// benchSweep runs a reduced Figure 7 grid through the sweep harness with the
+// given worker count. The parallel/serial pair measures the harness's
+// scaling on this machine (see BENCH_sweep.json for recorded numbers).
+func benchSweep(b *testing.B, workers int) {
+	jobs := experiments.Figure7Jobs(experiments.Quick, []int{1, 2, 4, 6}, []float64{150, 200})
+	r := &sweep.Runner{Run: experiments.Simulate, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Sweep(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, x := range res {
+			if !x.OK() {
+				b.Fatalf("%s: %s", x.ID, x.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkSweepSerial is the one-worker baseline for the harness.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid with a GOMAXPROCS-sized pool;
+// speedup over BenchmarkSweepSerial tracks available cores.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }

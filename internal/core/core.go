@@ -223,10 +223,25 @@ func (n *NIC) EnableTracing(maxRefs int) []*[]trace.MemRef {
 
 // Run warms the pipeline for warmup simulated time, then measures for
 // measure time and returns the report.
+//
+// Run honors Engine.Stop (e.g. from a sweep worker's cancellation
+// watchdog): if stopped during warmup the report is empty; if stopped
+// mid-measurement the report covers the simulated time actually measured.
+// Uninterrupted runs measure exactly the requested window, keeping reports
+// byte-for-byte reproducible.
 func (n *NIC) Run(warmup, measure sim.Picoseconds) Report {
 	n.Engine.RunFor(warmup)
 	n.baseline = n.snapshot()
+	if n.Engine.Stopped() {
+		n.measured = 0
+		return n.report(n.baseline)
+	}
+	t0 := n.Engine.Now()
 	n.Engine.RunFor(measure)
-	n.measured = measure
+	if n.Engine.Stopped() {
+		n.measured = n.Engine.Now() - t0
+	} else {
+		n.measured = measure
+	}
 	return n.report(n.snapshot())
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// reportJSON assembles a fresh NIC for cfg, runs it briefly, and returns the
+// serialized report. Each call builds its own simulator so runs are fully
+// independent.
+func reportJSON(t *testing.T, cfg Config, udp int) []byte {
+	t.Helper()
+	n := New(cfg)
+	n.AttachWorkload(udp, false)
+	r := n.Run(300*sim.Microsecond, 200*sim.Microsecond)
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestReportJSONDeterministic: the simulator is a sequential deterministic
+// machine, so the same Config and workload must produce byte-identical
+// Report JSON on every run — the property the sweep harness's caching,
+// resume, and baseline gating all rest on.
+func TestReportJSONDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		udp  int
+	}{
+		{"default-1472", DefaultConfig(), 1472},
+		{"rmw-400", RMWConfig(), 400},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := reportJSON(t, tc.cfg, tc.udp)
+			b := reportJSON(t, tc.cfg, tc.udp)
+			if !bytes.Equal(a, b) {
+				t.Errorf("two runs of the same config diverge:\nrun1: %s\nrun2: %s", a, b)
+			}
+		})
+	}
+}
+
+// TestReportJSONDeterministicAcrossGOMAXPROCS: scheduling pressure must not
+// leak into results. A single simulation never spawns goroutines, but the
+// sweep harness runs many concurrently, so the report must be identical
+// whether the runtime has one OS thread or eight.
+func TestReportJSONDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := DefaultConfig()
+	prev := runtime.GOMAXPROCS(1)
+	one := reportJSON(t, cfg, 1472)
+	runtime.GOMAXPROCS(8)
+	eight := reportJSON(t, cfg, 1472)
+	runtime.GOMAXPROCS(prev)
+	if !bytes.Equal(one, eight) {
+		t.Errorf("GOMAXPROCS=1 vs 8 reports diverge:\n1: %s\n8: %s", one, eight)
+	}
+}

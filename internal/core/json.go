@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON returns the canonical machine-readable encoding of a report. The
+// encoding is deterministic: the same configuration and seed produce
+// byte-identical output across runs and across GOMAXPROCS settings, which is
+// what makes sweep results content-addressable and diffable (see
+// internal/sweep).
+func (r Report) JSON() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// IndentJSON returns the canonical encoding, indented for humans.
+func (r Report) IndentJSON() ([]byte, error) {
+	b, err := r.JSON()
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	if err := json.Indent(&out, b, "", "  "); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// ReportFromJSON decodes a report previously encoded with Report.JSON.
+func ReportFromJSON(b []byte) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(bytes.NewReader(b))
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("core: decode report: %w", err)
+	}
+	return r, nil
+}

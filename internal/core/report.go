@@ -81,63 +81,69 @@ func (n *NIC) snapshot() snapshot {
 
 // FuncRow is one per-function attribution row, normalized per frame.
 type FuncRow struct {
-	Name         string
-	CyclesPerFrm float64
-	InstrPerFrm  float64
-	MemPerFrm    float64
+	Name         string  `json:"name"`
+	CyclesPerFrm float64 `json:"cycles_per_frame"`
+	InstrPerFrm  float64 `json:"instr_per_frame"`
+	MemPerFrm    float64 `json:"mem_per_frame"`
 }
 
 // Report is everything the experiments read out of one run.
 type Report struct {
-	Cfg     Config
-	UDPSize int
-	Seconds float64
+	Cfg     Config  `json:"cfg"`
+	UDPSize int     `json:"udp_size"`
+	Seconds float64 `json:"seconds"`
 
 	// Throughput (per direction and total), UDP payload.
-	TxGbps, RxGbps, TotalGbps float64
-	TxFPS, RxFPS              float64
+	TxGbps    float64 `json:"tx_gbps"`
+	RxGbps    float64 `json:"rx_gbps"`
+	TotalGbps float64 `json:"total_gbps"`
+	TxFPS     float64 `json:"tx_fps"`
+	RxFPS     float64 `json:"rx_fps"`
 	// LineRate is the Ethernet-limited full-duplex payload throughput for
 	// this datagram size.
-	LineRate     float64
-	LineFraction float64
+	LineRate     float64 `json:"line_rate_gbps"`
+	LineFraction float64 `json:"line_fraction"`
 
 	// Correctness.
-	TxOutOfOrder, RxOutOfOrder, RxDrops, RxCorrupt uint64
+	TxOutOfOrder uint64 `json:"tx_out_of_order"`
+	RxOutOfOrder uint64 `json:"rx_out_of_order"`
+	RxDrops      uint64 `json:"rx_drops"`
+	RxCorrupt    uint64 `json:"rx_corrupt"`
 
 	// Per-core computation breakdown (Table 3), fractions of one
 	// instruction slot per cycle per core.
-	IPC           float64
-	FracIMiss     float64
-	FracLoad      float64
-	FracConflict  float64
-	FracPipeline  float64
-	FracIdlePoll  float64 // cycles burned in unproductive poll passes
-	SpinLoadsPerF float64
+	IPC           float64 `json:"ipc"`
+	FracIMiss     float64 `json:"frac_imiss"`
+	FracLoad      float64 `json:"frac_load"`
+	FracConflict  float64 `json:"frac_conflict"`
+	FracPipeline  float64 `json:"frac_pipeline"`
+	FracIdlePoll  float64 `json:"frac_idle_poll"` // cycles burned in unproductive poll passes
+	SpinLoadsPerF float64 `json:"spin_loads_per_frame"`
 
 	// Memory system (Table 4), Gb/s.
-	ScratchGbps      float64
-	ScratchCoreGbps  float64
-	ScratchAssistAcc float64 // assist accesses per second (millions)
-	FrameMemGbps     float64 // consumed, incl. alignment waste
-	FrameUsefulGbps  float64
-	SDRAMUtilization float64
-	IMemUtilization  float64
+	ScratchGbps      float64 `json:"scratch_gbps"`
+	ScratchCoreGbps  float64 `json:"scratch_core_gbps"`
+	ScratchAssistAcc float64 `json:"scratch_assist_macc"` // assist accesses per second (millions)
+	FrameMemGbps     float64 `json:"frame_mem_gbps"`      // consumed, incl. alignment waste
+	FrameUsefulGbps  float64 `json:"frame_useful_gbps"`
+	SDRAMUtilization float64 `json:"sdram_utilization"`
+	IMemUtilization  float64 `json:"imem_utilization"`
 
 	// Per-function attribution: send rows normalized by transmitted frames,
 	// receive rows by delivered frames (Tables 5 and 6).
-	Send FuncBreakdown
-	Recv FuncBreakdown
+	Send FuncBreakdown `json:"send"`
+	Recv FuncBreakdown `json:"recv"`
 
-	Events [10]uint64
+	Events [10]uint64 `json:"events"`
 }
 
 // FuncBreakdown is one direction's per-frame rows.
 type FuncBreakdown struct {
-	FetchBD   FuncRow
-	Frame     FuncRow
-	DispOrder FuncRow
-	Locking   FuncRow
-	Total     FuncRow
+	FetchBD   FuncRow `json:"fetch_bd"`
+	Frame     FuncRow `json:"frame"`
+	DispOrder FuncRow `json:"disp_order"`
+	Locking   FuncRow `json:"locking"`
+	Total     FuncRow `json:"total"`
 }
 
 func sub(a, b []uint64) []uint64 {
@@ -154,6 +160,10 @@ func (n *NIC) report(end snapshot) Report {
 	r := Report{Cfg: n.Cfg, Seconds: secs}
 	if n.txGen != nil {
 		r.UDPSize = n.txGen.UDPSize
+	}
+	if secs == 0 {
+		// Interrupted before any measurement: an empty (but finite) report.
+		return r
 	}
 
 	txFrames := end.txFrames - base.txFrames

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -134,10 +135,25 @@ func PrintTable2(w io.Writer, tr []trace.Inst) {
 // paper's workaround for SMPCache's eight-cache limit) and sweeps
 // fully-associative MESI caches from 16 B to 32 KB.
 func Figure3(b Budget, maxRefs int) []smpcache.SweepPoint {
+	res := runSerial(Figure3Jobs(b, maxRefs))
+	pts, err := Fig3Points(res[0])
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+// figure3Collect is the Figure 3 job body: the traced run plus the cache
+// sweep, with cooperative cancellation.
+func figure3Collect(ctx context.Context, b Budget, maxRefs int) ([]smpcache.SweepPoint, core.Report, error) {
 	n := core.New(core.DefaultConfig())
 	n.AttachWorkload(1472, false)
 	traces := n.EnableTracing(maxRefs)
-	n.Run(b.Warmup, b.Measure)
+	defer watchdog(ctx, n.Engine)()
+	r := n.Run(b.Warmup, b.Measure)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, core.Report{}, ctx.Err()
+	}
 
 	meta := func(in []trace.MemRef) []trace.MemRef {
 		out := make([]trace.MemRef, 0, len(in))
@@ -157,7 +173,7 @@ func Figure3(b Budget, maxRefs int) []smpcache.SweepPoint {
 	}
 	refs = append(refs, trace.Interleave(6, meta(*traces[6]), meta(*traces[7]))...)
 	refs = append(refs, trace.Interleave(7, meta(*traces[8]), meta(*traces[9]))...)
-	return smpcache.Sweep(refs, 8, 16, smpcache.PaperSizes())
+	return smpcache.Sweep(refs, 8, 16, smpcache.PaperSizes()), r, nil
 }
 
 // PrintFigure3 renders the hit-ratio curve.
@@ -183,19 +199,15 @@ type Fig7Point struct {
 	Fraction  float64
 }
 
-// Figure7 sweeps core counts and frequencies for maximum-sized frames.
+// Figure7 sweeps core counts and frequencies for maximum-sized frames. This
+// is the serial path; cmd/nicbench runs the same Figure7Jobs over a parallel
+// sweep.Runner.
 func Figure7(b Budget, coreCounts []int, mhz []float64) []Fig7Point {
-	var out []Fig7Point
-	for _, c := range coreCounts {
-		for _, f := range mhz {
-			cfg := core.DefaultConfig()
-			cfg.Cores = c
-			cfg.CPUMHz = f
-			r := Run(cfg, 1472, b)
-			out = append(out, Fig7Point{Cores: c, MHz: f, TotalGbps: r.TotalGbps, Fraction: r.LineFraction})
-		}
+	pts, err := Fig7Points(runSerial(Figure7Jobs(b, coreCounts, mhz)))
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return pts
 }
 
 // PaperFig7Cores and PaperFig7MHz are the sweep axes of Figure 7.
@@ -261,10 +273,11 @@ type OrderingComparison struct {
 
 // CompareOrdering runs both configurations.
 func CompareOrdering(b Budget) OrderingComparison {
-	return OrderingComparison{
-		SW:  Run(core.DefaultConfig(), 1472, b),
-		RMW: Run(core.RMWConfig(), 1472, b),
+	c, err := orderingComparisonOf(runSerial(OrderingJobs(b)))
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // PrintTable5 renders per-packet instructions and memory accesses for the
@@ -340,20 +353,11 @@ var PaperFig8Sizes = []int{18, 100, 200, 400, 800, 1200, 1472}
 
 // Figure8 sweeps UDP datagram sizes for both orderings.
 func Figure8(b Budget, sizes []int) []Fig8Point {
-	var out []Fig8Point
-	for _, size := range sizes {
-		sw := Run(core.DefaultConfig(), size, b)
-		rmw := Run(core.RMWConfig(), size, b)
-		out = append(out, Fig8Point{
-			UDPSize:   size,
-			SWGbps:    sw.TotalGbps,
-			RMWGbps:   rmw.TotalGbps,
-			SWFPS:     sw.TxFPS + sw.RxFPS,
-			RMWFPS:    rmw.TxFPS + rmw.RxFPS,
-			LimitGbps: sw.LineRate,
-		})
+	pts, err := Fig8Points(runSerial(Figure8Jobs(b, sizes)))
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return pts
 }
 
 // PrintFigure8 renders the sweep.
@@ -374,13 +378,11 @@ func PrintFigure8(w io.Writer, pts []Fig8Point) {
 // AblationBanks sweeps scratchpad bank counts at the default operating
 // point, the partitioned-memory design study of §2.3.
 func AblationBanks(b Budget, banks []int) []core.Report {
-	var out []core.Report
-	for _, nb := range banks {
-		cfg := core.DefaultConfig()
-		cfg.ScratchpadBanks = nb
-		out = append(out, Run(cfg, 1472, b))
+	rs, err := ReportsOf(runSerial(AblationBanksJobs(b, banks)))
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return rs
 }
 
 // PrintAblationBanks renders the bank sweep.
@@ -395,13 +397,9 @@ func PrintAblationBanks(w io.Writer, reports []core.Report) {
 // AblationTaskParallel compares the frame-parallel event queue against the
 // Tigon-II-style task-level event register across core counts.
 func AblationTaskParallel(b Budget, coreCounts []int, mhz float64) (fp, tp []core.Report) {
-	for _, c := range coreCounts {
-		cfg := core.DefaultConfig()
-		cfg.Cores = c
-		cfg.CPUMHz = mhz
-		fp = append(fp, Run(cfg, 1472, b))
-		cfg.Parallelism = firmware.TaskParallel
-		tp = append(tp, Run(cfg, 1472, b))
+	fp, tp, err := taskParallelPairsOf(runSerial(AblationTaskParallelJobs(b, coreCounts, mhz)))
+	if err != nil {
+		panic(err)
 	}
 	return fp, tp
 }

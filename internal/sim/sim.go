@@ -11,6 +11,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Picoseconds is the unit of simulated time.
@@ -93,7 +94,7 @@ func (d *Domain) Add(t Ticker) { d.tickers = append(d.tickers, t) }
 type Engine struct {
 	domains []*Domain
 	now     Picoseconds
-	stop    bool
+	stop    atomic.Bool
 }
 
 // NewEngine creates an engine over the given domains. Domains may be added
@@ -117,8 +118,14 @@ func (e *Engine) AddDomain(d *Domain) {
 func (e *Engine) Now() Picoseconds { return e.now }
 
 // Stop requests that Run and RunFor return after the current time step
-// completes. It is safe to call from inside a Tick.
-func (e *Engine) Stop() { e.stop = true }
+// completes. It is safe to call from inside a Tick and from other
+// goroutines (a sweep worker's cancellation watchdog stops a simulation
+// this way).
+func (e *Engine) Stop() { e.stop.Store(true) }
+
+// Stopped reports whether Stop has been called since the last RunFor or
+// RunUntil began.
+func (e *Engine) Stopped() bool { return e.stop.Load() }
 
 // Step advances simulated time to the next clock edge of any domain and ticks
 // every domain whose edge falls on that instant, in registration order.
@@ -157,8 +164,8 @@ func (e *Engine) Step() bool {
 // until Stop is called.
 func (e *Engine) RunFor(dur Picoseconds) {
 	deadline := e.now + dur
-	e.stop = false
-	for !e.stop && e.now < deadline {
+	e.stop.Store(false)
+	for !e.stop.Load() && e.now < deadline {
 		if !e.Step() {
 			return
 		}
@@ -170,8 +177,8 @@ func (e *Engine) RunFor(dur Picoseconds) {
 // reports whether the predicate was satisfied.
 func (e *Engine) RunUntil(limit Picoseconds, done func() bool) bool {
 	deadline := e.now + limit
-	e.stop = false
-	for !e.stop && e.now < deadline {
+	e.stop.Store(false)
+	for !e.stop.Load() && e.now < deadline {
 		if !e.Step() {
 			return done()
 		}

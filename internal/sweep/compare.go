@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Metrics extracts the gated headline metrics of a result: the quantities
+// the paper's evaluation turns on (achieved fraction of line rate, IPC, and
+// the memory-system bandwidths). Nil for failed or report-less jobs.
+func Metrics(r Result) map[string]float64 {
+	if r.Report == nil {
+		return nil
+	}
+	rep := r.Report
+	return map[string]float64{
+		"total_gbps":     rep.TotalGbps,
+		"line_fraction":  rep.LineFraction,
+		"ipc":            rep.IPC,
+		"scratch_gbps":   rep.ScratchGbps,
+		"frame_mem_gbps": rep.FrameMemGbps,
+	}
+}
+
+// Baseline is one golden configuration point.
+type Baseline struct {
+	ID      string             `json:"id"`
+	Hash    string             `json:"hash"`
+	Spec    Spec               `json:"spec"`
+	Metrics map[string]float64 `json:"metrics"`
+	// Tol overrides the file-level default relative tolerance per metric.
+	Tol map[string]float64 `json:"tol,omitempty"`
+}
+
+// BaselineFile is a committed set of golden results.
+type BaselineFile struct {
+	Version    int        `json:"version"`
+	DefaultTol float64    `json:"default_tol"` // relative, e.g. 0.02 = ±2%
+	Baselines  []Baseline `json:"baselines"`
+}
+
+// DefaultTolerance is the relative tolerance applied when a baseline file
+// declares none. The simulator is deterministic, so this headroom exists
+// for intentional modeling changes, not noise; anything larger than a few
+// percent is a regression worth a human look.
+const DefaultTolerance = 0.02
+
+// NewBaselines builds a baseline file from sweep results, skipping failed
+// and metric-less jobs.
+func NewBaselines(results []Result) BaselineFile {
+	bf := BaselineFile{Version: 1, DefaultTol: DefaultTolerance}
+	seen := map[string]bool{}
+	for _, r := range results {
+		m := Metrics(r)
+		if m == nil || seen[r.Hash] {
+			continue
+		}
+		seen[r.Hash] = true
+		bf.Baselines = append(bf.Baselines, Baseline{ID: r.ID, Hash: r.Hash, Spec: r.Spec, Metrics: m})
+	}
+	sort.Slice(bf.Baselines, func(i, j int) bool { return bf.Baselines[i].ID < bf.Baselines[j].ID })
+	return bf
+}
+
+// WriteBaselines writes a baseline file (indented, trailing newline),
+// creating parent directories as needed.
+func WriteBaselines(path string, bf BaselineFile) error {
+	b, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: encode baselines: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("sweep: create baseline dir: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadBaselines reads a baseline file.
+func LoadBaselines(path string) (BaselineFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return BaselineFile{}, fmt.Errorf("sweep: read baselines: %w", err)
+	}
+	var bf BaselineFile
+	if err := json.Unmarshal(b, &bf); err != nil {
+		return BaselineFile{}, fmt.Errorf("sweep: decode baselines %s: %w", path, err)
+	}
+	if bf.DefaultTol <= 0 {
+		bf.DefaultTol = DefaultTolerance
+	}
+	return bf, nil
+}
+
+// Violation is one gated metric outside tolerance, or a baseline point the
+// sweep failed to produce at all (Metric "<missing>").
+type Violation struct {
+	ID     string  `json:"id"`
+	Hash   string  `json:"hash"`
+	Metric string  `json:"metric"`
+	Want   float64 `json:"want"`
+	Got    float64 `json:"got"`
+	Tol    float64 `json:"tol"`
+}
+
+func (v Violation) String() string {
+	if v.Metric == "<missing>" {
+		return fmt.Sprintf("%s (%s): no result for baseline point", v.ID, v.Hash)
+	}
+	return fmt.Sprintf("%s: %s = %.6g, want %.6g ±%.1f%%", v.ID, v.Metric, v.Got, v.Want, 100*v.Tol)
+}
+
+// Compare checks sweep results against a baseline file. Every baseline
+// point must be present and every gated metric within its relative
+// tolerance; returns the violations (empty means the gate passes). Extra
+// results with no matching baseline are ignored — the gate guards the
+// committed points, not the sweep's extent.
+func Compare(results []Result, bf BaselineFile) []Violation {
+	byHash := map[string]Result{}
+	for _, r := range results {
+		if r.OK() {
+			byHash[r.Hash] = r
+		}
+	}
+	var out []Violation
+	for _, b := range bf.Baselines {
+		res, ok := byHash[b.Hash]
+		m := Metrics(res)
+		if !ok || m == nil {
+			out = append(out, Violation{ID: b.ID, Hash: b.Hash, Metric: "<missing>"})
+			continue
+		}
+		names := make([]string, 0, len(b.Metrics))
+		for name := range b.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			want := b.Metrics[name]
+			got, ok := m[name]
+			if !ok {
+				out = append(out, Violation{ID: b.ID, Hash: b.Hash, Metric: name, Want: want, Got: math.NaN()})
+				continue
+			}
+			tol := bf.DefaultTol
+			if t, ok := b.Tol[name]; ok && t > 0 {
+				tol = t
+			}
+			denom := math.Abs(want)
+			if denom < 1e-12 {
+				denom = 1 // absolute tolerance near zero
+			}
+			if math.Abs(got-want) > tol*denom {
+				out = append(out, Violation{ID: b.ID, Hash: b.Hash, Metric: name, Want: want, Got: got, Tol: tol})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// RunFunc executes one job. Implementations must honor ctx: when it is
+// canceled they should stop the simulation and return ctx.Err() (the NIC
+// simulator's engine exposes Stop for exactly this; see
+// experiments.Simulate). A RunFunc may panic — the runner records the panic
+// as that job's failure without killing the pool.
+type RunFunc func(ctx context.Context, job Job) (Outcome, error)
+
+// Runner executes sweeps over a worker pool.
+type Runner struct {
+	// Run executes one job. Required.
+	Run RunFunc
+
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+
+	// Timeout bounds each job's execution; 0 means no per-job timeout. A
+	// diverging simulation fails its own job (deadline exceeded), not the
+	// sweep.
+	Timeout time.Duration
+
+	// Store, when non-nil, serves previously completed jobs by hash and
+	// persists fresh successes, making sweeps resumable across processes.
+	Store *Store
+
+	// OnResult, when non-nil, observes every result as it settles (cache
+	// hits included). Calls are serialized.
+	OnResult func(Result)
+
+	mu   sync.Mutex
+	memo map[string]Result // in-process cache of successes, by hash
+}
+
+// Sweep executes all jobs and returns results aligned with the input order.
+// Jobs sharing a spec hash are simulated once. Failed jobs (error, panic,
+// timeout) are reported in their Result and do not stop the sweep. When ctx
+// is canceled, in-flight jobs are stopped, unstarted jobs are marked
+// canceled, and the returned error is ctx's error; everything already
+// completed is in the results (and the store, if one is attached), so a
+// re-run resumes from where the sweep stopped.
+func (r *Runner) Sweep(ctx context.Context, jobs []Job) ([]Result, error) {
+	if r.Run == nil {
+		return nil, fmt.Errorf("sweep: Runner.Run is nil")
+	}
+	results := make([]Result, len(jobs))
+	filled := make([]bool, len(jobs))
+
+	// Group duplicate specs so each unique hash simulates once.
+	idxByHash := map[string][]int{}
+	var order []string
+	for i, j := range jobs {
+		h := j.Spec.Hash()
+		if _, ok := idxByHash[h]; !ok {
+			order = append(order, h)
+		}
+		idxByHash[h] = append(idxByHash[h], i)
+	}
+
+	settle := func(res Result) {
+		r.mu.Lock()
+		if res.OK() {
+			if r.memo == nil {
+				r.memo = map[string]Result{}
+			}
+			r.memo[res.Hash] = res
+			if r.Store != nil && !res.Cached {
+				// Persistence failure degrades resumability, not correctness.
+				_ = r.Store.Put(res)
+			}
+		}
+		for _, i := range idxByHash[res.Hash] {
+			rr := res
+			rr.ID = jobs[i].ID
+			results[i] = rr
+			filled[i] = true
+			if r.OnResult != nil {
+				r.OnResult(rr)
+			}
+		}
+		r.mu.Unlock()
+	}
+
+	// Serve cached hashes; collect the rest.
+	var pending []Job
+	for _, h := range order {
+		job := jobs[idxByHash[h][0]]
+		if res, ok := r.cached(h); ok {
+			res.Cached = true
+			settle(res)
+			continue
+		}
+		pending = append(pending, job)
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	ch := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				settle(r.runOne(ctx, job))
+			}
+		}()
+	}
+dispatch:
+	for _, job := range pending {
+		select {
+		case ch <- job:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+
+	// Anything not settled was never dispatched.
+	for i := range results {
+		if !filled[i] {
+			results[i] = Result{
+				ID:   jobs[i].ID,
+				Hash: jobs[i].Spec.Hash(),
+				Spec: jobs[i].Spec,
+				Err:  "canceled before start",
+			}
+		}
+	}
+	return results, ctx.Err()
+}
+
+// cached consults the in-process memo, then the store.
+func (r *Runner) cached(hash string) (Result, bool) {
+	r.mu.Lock()
+	res, ok := r.memo[hash]
+	r.mu.Unlock()
+	if ok {
+		return res, true
+	}
+	if r.Store != nil {
+		if res, ok := r.Store.Get(hash); ok && res.OK() {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// runOne executes a single job with timeout and panic isolation.
+func (r *Runner) runOne(ctx context.Context, job Job) (res Result) {
+	res = Result{ID: job.ID, Hash: job.Spec.Hash(), Spec: job.Spec}
+	start := time.Now()
+	defer func() {
+		res.ElapsedSec = time.Since(start).Seconds()
+		if p := recover(); p != nil {
+			res.Report, res.Aux = nil, nil
+			res.Err = fmt.Sprintf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	jctx := ctx
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	out, err := r.Run(jctx, job)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Report, res.Aux = out.Report, out.Aux
+	return res
+}
