@@ -2,11 +2,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/firmware"
 	"repro/internal/sim"
 )
@@ -21,6 +23,8 @@ func main() {
 	warmup := flag.Float64("warmup", 200, "warmup time in microseconds")
 	measure := flag.Float64("measure", 500, "measurement time in microseconds")
 	payload := flag.Bool("payload", false, "carry and verify real frame bytes")
+	faultFlag := flag.String("faults", "", `fault plan: "ref" for the reference plan, compact syntax ("seed=1;rx_drop@250us*4,..."), or @file.json`)
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -33,12 +37,48 @@ func main() {
 	if *taskpar {
 		cfg.Parallelism = firmware.TaskParallel
 	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "nicsim: invalid configuration: %v\n", err)
+		os.Exit(2)
+	}
+
+	warmupPs := sim.Picoseconds(*warmup) * sim.Microsecond
+	var plan faults.Plan
+	if *faultFlag != "" {
+		var err error
+		if *faultFlag == "ref" {
+			// The reference plan starts after warmup so recovery behavior is
+			// measured against a settled pipeline.
+			plan = faults.Reference(warmupPs)
+		} else if plan, err = faults.ParsePlan(*faultFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "nicsim: bad fault plan: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	n := core.New(cfg)
 	n.AttachWorkload(*udp, *payload)
-	rep := n.Run(sim.Picoseconds(*warmup)*sim.Microsecond, sim.Picoseconds(*measure)*sim.Microsecond)
-	fmt.Print(rep.String())
+	if err := n.AttachFaults(plan); err != nil {
+		fmt.Fprintf(os.Stderr, "nicsim: %v\n", err)
+		os.Exit(2)
+	}
+	rep := n.Run(warmupPs, sim.Picoseconds(*measure)*sim.Microsecond)
+	if *jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nicsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(rep.String())
+	}
 	if rep.TxOutOfOrder+rep.RxOutOfOrder > 0 {
 		fmt.Fprintln(os.Stderr, "ERROR: ordering violated")
+		os.Exit(1)
+	}
+	if rep.InvariantViolations > 0 {
+		fmt.Fprintln(os.Stderr, "ERROR: run invariants violated")
 		os.Exit(1)
 	}
 }

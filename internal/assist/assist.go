@@ -107,6 +107,11 @@ type engine struct {
 	inFlight int
 	// completion ordering: jobs finish the pipeline in start order.
 	Completed stats.Counter
+	// faultCompletion, when non-nil, is consulted once per completed job
+	// that carries a firmware notification: drop suppresses the onDone
+	// callback (a lost completion), dup delivers it twice. The pipeline slot
+	// is always released — the fault is in the notification, not the engine.
+	faultCompletion func() (drop, dup bool)
 }
 
 func newEngine(name string, depth int) *engine {
@@ -131,9 +136,21 @@ func (e *engine) tick() {
 		j.run(func() {
 			e.inFlight--
 			e.Completed.Inc()
-			if j.onDone != nil {
-				j.onDone()
+			if j.onDone == nil {
+				return
 			}
+			if e.faultCompletion != nil {
+				drop, dup := e.faultCompletion()
+				if drop {
+					return
+				}
+				j.onDone()
+				if dup {
+					j.onDone()
+				}
+				return
+			}
+			j.onDone()
 		})
 	}
 }

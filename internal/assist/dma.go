@@ -43,6 +43,10 @@ func NewDMARead(port *ScratchPort, sdram *mem.SDRAM, sdramPort int, host Host, p
 // QueueLen reports outstanding jobs.
 func (d *DMARead) QueueLen() int { return d.eng.QueueLen() }
 
+// SetCompletionFault installs the completion-fault hook (see engine); nil
+// clears it.
+func (d *DMARead) SetCompletionFault(f func() (drop, dup bool)) { d.eng.faultCompletion = f }
+
 // FetchBDs fetches a descriptor batch from host memory into the scratchpad:
 // one host round-trip, then words scratchpad writes, then the progress
 // pointer update.
@@ -143,6 +147,10 @@ func NewDMAWrite(port *ScratchPort, sdram *mem.SDRAM, sdramPort int, host Host, 
 
 // QueueLen reports outstanding jobs.
 func (w *DMAWrite) QueueLen() int { return w.eng.QueueLen() }
+
+// SetCompletionFault installs the completion-fault hook (see engine); nil
+// clears it.
+func (w *DMAWrite) SetCompletionFault(f func() (drop, dup bool)) { w.eng.faultCompletion = f }
 
 // WriteFrame moves one received frame from the SDRAM receive buffer to the
 // host: SDRAM read burst, then the host round-trip.

@@ -61,9 +61,13 @@ func (m *MACTx) Send(bufAddr uint32, size int, handle any) {
 	m.queue = append(m.queue, txFrame{bufAddr: bufAddr, size: size, handle: handle})
 }
 
-// Backlog reports frames committed but not yet fully transmitted.
+// Backlog reports frames committed but not yet fully transmitted: queued,
+// being fetched from SDRAM, staged, or partially on the wire.
 func (m *MACTx) Backlog() int {
 	n := len(m.queue) + len(m.staged)
+	if m.fetching {
+		n++
+	}
 	if m.wireRemain > 0 {
 		n++
 	}
@@ -142,22 +146,40 @@ type MACRx struct {
 	Alloc func(size int, handle any) (bufAddr uint32, ok bool)
 	// OnReceive fires when a frame is fully in the SDRAM receive buffer.
 	OnReceive func(bufAddr uint32, size int, handle any)
+	// FaultVerdict, when non-nil, is consulted per arriving frame before
+	// staging: RxFaultDrop models a frame lost on the wire, RxFaultCorrupt a
+	// frame arriving with a bad CRC. Both are discarded by the MAC before
+	// firmware sees them and counted separately from buffer-exhaustion Drops.
+	FaultVerdict func(size int) int
 
 	wireRemain int
 	curSize    int
 	curHandle  any
 	staged     int // frames in the staging buffer awaiting SDRAM write
 
-	RxFrames stats.Counter
-	RxBytes  stats.Counter
-	Drops    stats.Counter
-	WireBusy stats.Utilization
+	RxFrames     stats.Counter
+	RxBytes      stats.Counter
+	Drops        stats.Counter
+	WireDrops    stats.Counter // injected wire losses
+	CorruptDrops stats.Counter // injected CRC failures
+	WireBusy     stats.Utilization
 }
+
+// FaultVerdict results.
+const (
+	RxFaultPass = iota
+	RxFaultDrop
+	RxFaultCorrupt
+)
 
 // NewMACRx creates the receive engine.
 func NewMACRx(port *ScratchPort, sdram *mem.SDRAM, sdramPort int, progressAddr uint32) *MACRx {
 	return &MACRx{Port: port, sdram: sdram, sdramPort: sdramPort, ProgressAddr: progressAddr}
 }
+
+// Staged reports frames sitting in the staging buffer awaiting their SDRAM
+// write (accepted but not yet delivered to firmware); for invariant checks.
+func (m *MACRx) Staged() int { return m.staged }
 
 // TickCPU pumps the scratchpad port.
 func (m *MACRx) TickCPU(cycle uint64) { m.Port.Tick(cycle) }
@@ -192,6 +214,16 @@ func (m *MACRx) TickMAC(cycle uint64) {
 // SDRAM write; the staging buffer holds two frames, beyond which arrivals
 // drop (the SDRAM or allocation is the bottleneck).
 func (m *MACRx) frameArrived(size int, handle any) {
+	if m.FaultVerdict != nil {
+		switch m.FaultVerdict(size) {
+		case RxFaultDrop:
+			m.WireDrops.Inc()
+			return
+		case RxFaultCorrupt:
+			m.CorruptDrops.Inc()
+			return
+		}
+	}
 	if m.staged >= 2 || m.Alloc == nil {
 		m.Drops.Inc()
 		return

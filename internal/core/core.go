@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/assist"
 	"repro/internal/cpu"
+	"repro/internal/faults"
 	"repro/internal/firmware"
 	"repro/internal/host"
 	"repro/internal/mem"
@@ -98,6 +99,9 @@ type NIC struct {
 	txGen  *workload.Generator
 	rxGen  *workload.Generator
 
+	inj     *faults.Injector
+	checker *invariantChecker
+
 	baseline snapshot
 	measured sim.Picoseconds
 }
@@ -112,8 +116,8 @@ const (
 
 // New assembles a controller.
 func New(cfg Config) *NIC {
-	if cfg.Cores <= 0 || cfg.CPUMHz <= 0 {
-		panic(fmt.Sprintf("core: bad config %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
 	}
 	n := &NIC{Cfg: cfg}
 
@@ -180,6 +184,10 @@ func New(cfg Config) *NIC {
 
 	hostD := sim.NewDomain("host", 133e6)
 	hostD.Add(n.Host)
+	// The invariant checker runs on every build point, faulted or not; it
+	// only reads functional state, so it cannot perturb the simulation.
+	n.checker = newInvariantChecker(n)
+	hostD.Add(n.checker)
 
 	n.Engine = sim.NewEngine(cpuD, sdramD, macD, hostD)
 	return n
@@ -243,5 +251,8 @@ func (n *NIC) Run(warmup, measure sim.Picoseconds) Report {
 	} else {
 		n.measured = measure
 	}
+	// Final conservation audit: one non-watchdog pass so a violation in the
+	// last partial check window still surfaces in the report.
+	n.checker.check(false)
 	return n.report(n.snapshot())
 }

@@ -135,6 +135,13 @@ type Report struct {
 	Recv FuncBreakdown `json:"recv"`
 
 	Events [10]uint64 `json:"events"`
+
+	// Run invariants and fault injection. All three fields are omitted on
+	// clean fault-free runs, keeping those reports byte-identical to builds
+	// without the fault subsystem.
+	InvariantViolations uint64       `json:"invariant_violations,omitempty"`
+	InvariantDetail     []string     `json:"invariant_detail,omitempty"`
+	Faults              *FaultReport `json:"faults,omitempty"`
 }
 
 // FuncBreakdown is one direction's per-frame rows.
@@ -300,6 +307,11 @@ func (n *NIC) report(end snapshot) Report {
 	for i := range r.Events {
 		r.Events[i] = end.events[i] - base.events[i]
 	}
+	if n.checker != nil {
+		r.InvariantViolations = n.checker.violations
+		r.InvariantDetail = n.checker.detail
+	}
+	r.Faults = n.faultReport()
 	return r
 }
 
@@ -325,5 +337,24 @@ func (r Report) String() string {
 	}
 	dir("send", r.Send)
 	dir("receive", r.Recv)
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(&b, "faults: plan %q seed %d\n", f.Plan, f.Seed)
+		fmt.Fprintf(&b, "  injected: rx corrupt/drop %d/%d (crc/wire drops %d/%d), dma loss/dup %d/%d, bank-stall cycles %d, core stuck/slow %d/%d, starve %d (%d host ticks), mailbox lost %d\n",
+			f.Injected.RxCorrupt, f.Injected.RxDrop, f.CRCDrops, f.WireDrops,
+			f.Injected.DMALoss, f.Injected.DMADup, f.Injected.BankStall,
+			f.Injected.CoreStuck, f.Injected.CoreSlow,
+			f.Injected.RingStarve, f.StarvedTicks, f.MailboxLost)
+		fmt.Fprintf(&b, "  recovery: dma retried %d recovered %d dup-suppressed %d outstanding %d; takeovers %d (retries %d, %d streams rescued, %d flag repairs)\n",
+			f.DMARetried, f.DMARecovered, f.DMADupSuppressed, f.OutstandingDMAs,
+			f.Takeovers, f.Injected.TakeoverRetry, f.StreamsRescued, f.FlagRepairs)
+	}
+	if r.InvariantViolations > 0 {
+		fmt.Fprintf(&b, "INVARIANT VIOLATIONS: %d\n", r.InvariantViolations)
+		for _, d := range r.InvariantDetail {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+	} else if r.Faults != nil {
+		fmt.Fprintf(&b, "invariants: all checks passed\n")
+	}
 	return b.String()
 }

@@ -76,6 +76,7 @@ type Stats struct {
 	ConflictStalls uint64
 	PipelineStalls uint64
 	IdleCycles     uint64
+	FaultStalls    uint64 // cycles vetoed by the fault gate (stuck/slowed)
 	SpinLoads      uint64 // lock-spin ll's issued (contention indicator)
 	Loads          uint64
 	Stores         uint64
@@ -99,6 +100,7 @@ func (s *Stats) Add(o Stats) {
 	s.ConflictStalls += o.ConflictStalls
 	s.PipelineStalls += o.PipelineStalls
 	s.IdleCycles += o.IdleCycles
+	s.FaultStalls += o.FaultStalls
 	s.SpinLoads += o.SpinLoads
 	s.Loads += o.Loads
 	s.Stores += o.Stores
@@ -142,6 +144,10 @@ type Core struct {
 	// NextWork supplies the next handler invocation when the core is idle;
 	// nil result means idle this cycle. The firmware layer installs it.
 	NextWork func() *Stream
+	// Gate, when non-nil, is consulted every cycle; false vetoes execution
+	// (fault injection: stuck cores execute nothing, slowed cores only on a
+	// subset of cycles). Vetoed cycles count as FaultStalls.
+	Gate func(cycle uint64) bool
 	// TraceMem, when set, observes every completed scratchpad transaction
 	// (for the Figure 3 coherence traces).
 	TraceMem func(trace.MemRef)
@@ -209,6 +215,10 @@ func (c *Core) Busy() bool { return c.cur != nil }
 // Tick advances the core one CPU-domain cycle.
 func (c *Core) Tick(cycle uint64) {
 	c.Stats.Cycles++
+	if c.Gate != nil && !c.Gate(cycle) {
+		c.Stats.FaultStalls++
+		return
+	}
 
 	if c.cur == nil {
 		if c.NextWork != nil {
@@ -535,4 +545,86 @@ func (c *Core) advance() {
 		return
 	}
 	c.state = stFetch
+}
+
+// Preempt evicts the core's current stream so a supervisor can re-dispatch it
+// on another core (stuck-core takeover). It returns the remainder of the
+// stream — the operations that have not yet taken functional effect — or nil
+// when the core was idle. ok=false means the core cannot be preempted right
+// now: a store-conditional is in flight, so whether the lock was acquired is
+// not yet known; the caller should retry shortly.
+//
+// The remainder is constructed so that every functional side effect happens
+// exactly once: operations whose memory transaction is in flight or complete
+// are skipped (the crossbar callback fires their OnComplete regardless of
+// preemption), while operations that never issued — including a lock
+// microsequence that had not yet won its sc — are re-issued verbatim.
+// Preempting inside a held critical section is safe: the lock word stays set
+// and the remainder still contains the matching OpUnlock.
+func (c *Core) Preempt() (*Stream, bool) {
+	if c.cur == nil {
+		return nil, true
+	}
+	// sc outstanding: the lock outcome is unknown until the transaction
+	// completes, so neither skipping nor re-issuing the OpLock is sound.
+	if c.state == stWaitMem && c.lockPhase == lkSC && !c.memDone {
+		return nil, false
+	}
+
+	resume := c.opIdx // first op of the remainder
+	op := &c.cur.Ops[c.opIdx]
+	switch c.state {
+	case stHazard:
+		// Op executed; only hazard bubbles remained.
+		resume++
+	case stPlain:
+		switch c.lockPhase {
+		case lkCheck:
+			// sc succeeded: the lock is held but OnComplete has not run.
+			if op.OnComplete != nil {
+				op.OnComplete()
+			}
+			resume++
+		default: // lkBranch, lkBackoff: lock not acquired — retry the ll.
+		}
+	case stWaitMem:
+		switch c.lockPhase {
+		case lkNone:
+			// Plain load/RMW in flight or complete: the crossbar callback
+			// runs OnComplete itself; do not run it again.
+			resume++
+		case lkLL:
+			// ll outstanding: nothing functional happened; retry.
+		case lkSC: // memDone, else refused above
+			if c.lockVal != 0 {
+				if op.OnComplete != nil {
+					op.OnComplete()
+				}
+				resume++
+			}
+			// else sc failed: retry the ll.
+		}
+	case stFetch, stWaitFill:
+		// Current op never issued; re-issue it.
+	}
+
+	out := &Stream{
+		Name:     c.cur.Name,
+		CodeBase: c.cur.CodeBase,
+		CodeLen:  c.cur.CodeLen,
+		Ops:      c.cur.Ops[resume:],
+		AcctID:   c.cur.AcctID,
+		OnDone:   c.cur.OnDone,
+	}
+	if len(out.Ops) == 0 {
+		// Every op took effect; keep a one-op stub so OnDone still runs on
+		// the rescuing core.
+		out.Ops = []Op{{Kind: OpALU}}
+	}
+	c.cur = nil
+	c.state = stFetch
+	c.lockPhase = lkNone
+	c.hazardCtr = 0
+	c.plainCtr = 0
+	return out, true
 }

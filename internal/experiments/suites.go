@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/firmware"
 	"repro/internal/sim"
 	"repro/internal/smpcache"
@@ -78,6 +79,9 @@ func ConfigFor(s sweep.Spec) (core.Config, error) {
 	default:
 		return core.Config{}, fmt.Errorf("experiments: unknown parallelism %q", s.Parallelism)
 	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, fmt.Errorf("experiments: invalid spec: %w", err)
+	}
 	return cfg, nil
 }
 
@@ -100,7 +104,7 @@ func Simulate(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
-		r, err := simulate(ctx, cfg, j.Spec.UDPSize, b)
+		r, err := simulate(ctx, cfg, j.Spec.UDPSize, b, j.Spec.Faults)
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
@@ -120,10 +124,16 @@ func Simulate(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
 	}
 }
 
-// simulate runs one configuration with cooperative cancellation.
-func simulate(ctx context.Context, cfg core.Config, udpSize int, b Budget) (core.Report, error) {
+// simulate runs one configuration with cooperative cancellation, attaching
+// the fault plan (if any) before the run starts.
+func simulate(ctx context.Context, cfg core.Config, udpSize int, b Budget, plan *faults.Plan) (core.Report, error) {
 	n := core.New(cfg)
 	n.AttachWorkload(udpSize, false)
+	if plan != nil {
+		if err := n.AttachFaults(*plan); err != nil {
+			return core.Report{}, err
+		}
+	}
 	defer watchdog(ctx, n.Engine)()
 	r := n.Run(b.Warmup, b.Measure)
 	if ctx != nil && ctx.Err() != nil {
@@ -257,6 +267,60 @@ func AblationTaskParallelJobs(b Budget, coreCounts []int, mhz float64) []sweep.J
 		jobs = append(jobs, sweep.Job{ID: fmt.Sprintf("ablation-b/c%d-task", c), Spec: SpecFor(cfg, 1472, b)})
 	}
 	return jobs
+}
+
+// FaultJobs is the robustness study: the paper's two operating points
+// (6×200 MHz software-only, 6×166 MHz RMW-enhanced), each run fault-free and
+// then under the reference fault plan, which injects at least one event of
+// every fault class after warmup. The pairing lets the printer report
+// recovery cost as a fraction of fault-free throughput.
+func FaultJobs(b Budget) []sweep.Job {
+	plan := faults.Reference(b.Warmup)
+	withFaults := func(s sweep.Spec) sweep.Spec {
+		p := plan
+		s.Faults = &p
+		return s
+	}
+	swSpec := SpecFor(core.DefaultConfig(), 1472, b)
+	rmwSpec := SpecFor(core.RMWConfig(), 1472, b)
+	return []sweep.Job{
+		{ID: "faults/sw-200-clean", Spec: swSpec},
+		{ID: "faults/sw-200-ref", Spec: withFaults(swSpec)},
+		{ID: "faults/rmw-166-clean", Spec: rmwSpec},
+		{ID: "faults/rmw-166-ref", Spec: withFaults(rmwSpec)},
+	}
+}
+
+// PrintFaults renders the robustness study: per operating point, fault-free
+// vs faulted throughput, the injected event totals, and the recovery actions
+// the firmware took. Results arrive interleaved (clean, faulted per point).
+func PrintFaults(w io.Writer, results []sweep.Result) error {
+	rs, err := ReportsOf(results)
+	if err != nil {
+		return err
+	}
+	if len(rs)%2 != 0 {
+		return fmt.Errorf("experiments: fault study needs paired reports, got %d", len(rs))
+	}
+	fmt.Fprintln(w, "Robustness: reference fault plan vs fault-free, per operating point")
+	for i := 0; i < len(rs); i += 2 {
+		clean, faulted := rs[i], rs[i+1]
+		frac := 0.0
+		if clean.TotalGbps > 0 {
+			frac = faulted.TotalGbps / clean.TotalGbps
+		}
+		fmt.Fprintf(w, "  %-22s clean %6.2f Gb/s | faulted %6.2f Gb/s (%5.1f%%) | violations %d\n",
+			results[i+1].ID, clean.TotalGbps, faulted.TotalGbps, 100*frac, faulted.InvariantViolations)
+		if fr := faulted.Faults; fr != nil {
+			fmt.Fprintf(w, "    injected: rx corrupt %d, rx drop %d, dma lost %d, dma dup %d, bank stalls %d, core stall ticks %d\n",
+				fr.Injected.RxCorrupt, fr.Injected.RxDrop, fr.Injected.DMALoss,
+				fr.Injected.DMADup, fr.Injected.BankStall, fr.Injected.CoreStuck+fr.Injected.CoreSlow)
+			fmt.Fprintf(w, "    recovered: dma retried %d recovered %d dup-suppressed %d, takeovers %d (rescued %d), outstanding %d\n",
+				fr.DMARetried, fr.DMARecovered, fr.DMADupSuppressed,
+				fr.Takeovers, fr.StreamsRescued, fr.OutstandingDMAs)
+		}
+	}
+	return nil
 }
 
 // GateJobs is the regression gate: a handful of cheap, diverse points whose
@@ -419,6 +483,11 @@ func Suites() []Suite {
 				PrintAblationTaskParallel(w, fp, tp)
 				return nil
 			},
+		},
+		{
+			Key: "faults", Desc: "robustness under the reference fault plan",
+			Jobs:  FaultJobs,
+			Print: PrintFaults,
 		},
 		{
 			Key: "gate", Desc: "regression gate points (used by -check)",

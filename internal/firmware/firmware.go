@@ -142,6 +142,28 @@ type Firmware struct {
 	recvCommitClaim bool
 	recvDoneQ       []*recvFrame
 
+	// Pipeline audit counters: frames in the claim→effect windows that the
+	// queues above do not cover. Together with the queues they account for
+	// every in-flight frame, making the run invariants' conservation audit
+	// exact at any instant (all transitions happen within single callbacks).
+	claimedSend int // popped from prepQ, frame DMA not yet programmed
+	claimedRecv int // popped from rxArrivedQ, descriptor DMA not yet programmed
+	dmaOutSend  int // frame-fetch DMAs in flight
+	dmaOutRecv  int // descriptor-write DMAs in flight
+	ordPendSend int // popped from sendDMADone, status flag not yet set
+	ordPendRecv int // popped from rxDMADone, status flag not yet set
+
+	// Fault recovery (nil when no fault plan is attached).
+	rec *recovery
+	// orphans holds streams rescued from preempted cores, re-dispatched to
+	// any core ahead of new claims.
+	orphans []*cpu.Stream
+	// Takeovers counts stuck-core takeovers; Rescued the streams they
+	// re-dispatched; FlagRepairs the ordering-state fixes they applied.
+	Takeovers   uint64
+	Rescued     uint64
+	FlagRepairs uint64
+
 	// Per-core continuation queues (segments of the current event).
 	cont [][]*cpu.Stream
 
@@ -226,6 +248,13 @@ func (fw *Firmware) nextWork(coreID int) *cpu.Stream {
 	if q := fw.cont[coreID]; len(q) > 0 {
 		s := q[0]
 		fw.cont[coreID] = q[1:]
+		return s
+	}
+	// Streams rescued from a preempted core run before any new claim so a
+	// takeover cannot reorder work that was already dispatched.
+	if len(fw.orphans) > 0 {
+		s := fw.orphans[0]
+		fw.orphans = fw.orphans[1:]
 		return s
 	}
 	// Commits always go first (they unblock both pipelines and are cheap);
@@ -467,7 +496,7 @@ func (fw *Firmware) claimFetchSendBD(coreID int) *cpu.Stream {
 	b.store(base)
 	b.unlock(LockSendBD, nil)
 	b.then(func() {
-		fw.as.DMARead.FetchBDs(nBDs*SendBDWords, base, func() {
+		fire := func() {
 			bds := fw.hst.TakeSendBDs(nBDs)
 			for i := 0; i+1 < len(bds); i += 2 {
 				fr := &sendFrame{f: bds[i].Frame, idx: fw.sendSeq}
@@ -476,7 +505,11 @@ func (fw *Firmware) claimFetchSendBD(coreID int) *cpu.Stream {
 				fw.prepQ = append(fw.prepQ, fr)
 			}
 			fw.bdFetchOut--
-		})
+		}
+		issue := func(onDone func()) {
+			fw.as.DMARead.FetchBDs(nBDs*SendBDWords, base, onDone)
+		}
+		issue(fw.expect("fetch-send-bd", issue, fire))
 	})
 	work := b.build("fetch-send-bd", codeFetchBDBase, fw.Prof.CodeFetchBD, AcctFetchSendBD, nil)
 	return fw.chain(coreID, fw.dispatchStream(AcctSendOrder), work)
@@ -498,6 +531,7 @@ func (fw *Firmware) claimSendPrep(coreID int) *cpu.Stream {
 	fw.txReserved += n
 	frames := append([]*sendFrame(nil), fw.prepQ[:n]...)
 	fw.prepQ = fw.prepQ[n:]
+	fw.claimedSend += n
 
 	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
 	bases := make([]uint32, 0, 2*n)
@@ -519,6 +553,7 @@ func (fw *Firmware) claimSendPrep(coreID int) *cpu.Stream {
 	b.unlock(LockTxAlloc, nil)
 	b.then(func() {
 		fw.txReserved -= len(frames)
+		fw.claimedSend -= len(frames)
 		for _, fr := range frames {
 			addr, slot, ok := fw.txRing.alloc()
 			if !ok {
@@ -526,9 +561,15 @@ func (fw *Firmware) claimSendPrep(coreID int) *cpu.Stream {
 			}
 			fr.buf, fr.slot = addr, slot
 			f := fr
-			fw.as.DMARead.FetchFrame(addr, host.HeaderBytes, f.f.Size-host.HeaderBytes, func() {
+			fw.dmaOutSend++
+			fire := func() {
+				fw.dmaOutSend--
 				fw.sendDMADone = append(fw.sendDMADone, f)
-			})
+			}
+			issue := func(onDone func()) {
+				fw.as.DMARead.FetchFrame(addr, host.HeaderBytes, f.f.Size-host.HeaderBytes, onDone)
+			}
+			issue(fw.expect("send-frame-dma", issue, fire))
 		}
 	})
 	work := b.build("send-prep", codeSendBase, fw.Prof.CodeSendFrame, AcctSendFrame, nil)
@@ -544,6 +585,7 @@ func (fw *Firmware) claimSendDone(coreID int) *cpu.Stream {
 	n := fw.batch(len(fw.sendDMADone))
 	frames := append([]*sendFrame(nil), fw.sendDMADone[:n]...)
 	fw.sendDMADone = fw.sendDMADone[n:]
+	fw.ordPendSend += n
 
 	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
 	bases := make([]uint32, 0, n)
@@ -629,10 +671,14 @@ func (fw *Firmware) claimFetchRecvBD(coreID int) *cpu.Stream {
 	b.store(base)
 	b.unlock(LockRecvBD, nil)
 	b.then(func() {
-		fw.as.DMARead.FetchBDs(n*RecvBDWords, base, func() {
+		fire := func() {
 			fw.recvBDCredit += fw.hst.TakeRecvBDs(n)
 			fw.recvBDFetchOut--
-		})
+		}
+		issue := func(onDone func()) {
+			fw.as.DMARead.FetchBDs(n*RecvBDWords, base, onDone)
+		}
+		issue(fw.expect("fetch-recv-bd", issue, fire))
 	})
 	work := b.build("fetch-recv-bd", codeFetchBDBase, fw.Prof.CodeFetchBD, AcctFetchRecvBD, nil)
 	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
@@ -651,6 +697,7 @@ func (fw *Firmware) claimRecvPrep(coreID int) *cpu.Stream {
 	frames := append([]*recvFrame(nil), fw.rxArrivedQ[:n]...)
 	fw.rxArrivedQ = fw.rxArrivedQ[n:]
 	fw.recvBDCredit -= n
+	fw.claimedRecv += n
 
 	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
 	bases := make([]uint32, 0, 2*n)
@@ -672,12 +719,19 @@ func (fw *Firmware) claimRecvPrep(coreID int) *cpu.Stream {
 	}
 	b.unlock(LockRxPool, nil)
 	b.then(func() {
+		fw.claimedRecv -= len(frames)
 		for _, fr := range frames {
 			f := fr
+			fw.dmaOutRecv++
 			fw.as.DMAWrite.WriteFrame(f.buf, f.size, nil)
-			fw.as.DMAWrite.WriteDescriptor(RegionRecvDesc+desc(f.idx, DescDMA), RecvBDWords, func() {
+			fire := func() {
+				fw.dmaOutRecv--
 				fw.rxDMADone = append(fw.rxDMADone, f)
-			})
+			}
+			issue := func(onDone func()) {
+				fw.as.DMAWrite.WriteDescriptor(RegionRecvDesc+desc(f.idx, DescDMA), RecvBDWords, onDone)
+			}
+			issue(fw.expect("recv-desc-dma", issue, fire))
 		}
 	})
 	work := b.build("recv-prep", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
@@ -693,6 +747,7 @@ func (fw *Firmware) claimRecvDone(coreID int) *cpu.Stream {
 	n := fw.batch(len(fw.rxDMADone))
 	frames := append([]*recvFrame(nil), fw.rxDMADone[:n]...)
 	fw.rxDMADone = fw.rxDMADone[n:]
+	fw.ordPendRecv += n
 
 	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
 	bases := make([]uint32, 0, n)
@@ -795,8 +850,10 @@ func (fw *Firmware) orderingSetStream(send bool, sf []*sendFrame, rf []*recvFram
 		flags.Set(int(idxOf(i) % FlagBits))
 		if send {
 			fw.sendSet++
+			fw.ordPendSend--
 		} else {
 			fw.recvSet++
+			fw.ordPendRecv--
 		}
 	}
 

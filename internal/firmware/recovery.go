@@ -1,0 +1,274 @@
+package firmware
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// recoveryTimeout is how long a DMA completion may be outstanding before the
+// firmware's recovery scan re-issues the transfer. At line rate a transfer can
+// legitimately sit tens of microseconds in the assist queue behind other
+// frames, so the timeout must clear worst-case queueing with margin: a
+// premature retry duplicates a healthy DMA, and the duplicated traffic deepens
+// the very congestion that delayed the original, collapsing throughput. The
+// in-flight ordering window is large enough that a genuinely lost completion
+// stalls only its own frame chain until the retry fires.
+const recoveryTimeout = 100 * sim.Microsecond
+
+// dmaToken tracks one DMA whose completion notification the firmware expects.
+// A lost completion leaves the token pending past the timeout; the recovery
+// scan then re-issues the transfer. A duplicated completion is absorbed by the
+// token's done flag.
+type dmaToken struct {
+	class   string
+	issued  sim.Picoseconds
+	done    bool
+	tries   int
+	fire    func()
+	reissue func(onDone func())
+}
+
+// recovery is the firmware's completion-timeout state, armed only when a
+// fault plan is attached to the run.
+type recovery struct {
+	now     func() sim.Picoseconds
+	pending []*dmaToken
+
+	// Retried counts re-issued DMAs, Recovered the retries whose completion
+	// eventually arrived, DupSuppressed the duplicate notifications absorbed.
+	Retried       uint64
+	Recovered     uint64
+	DupSuppressed uint64
+}
+
+// ArmRecovery enables completion timeout/retry tracking; now reads the
+// engine's simulated time. Without this call every expect() is a free
+// pass-through and the firmware behaves exactly as before.
+func (fw *Firmware) ArmRecovery(now func() sim.Picoseconds) {
+	fw.rec = &recovery{now: now}
+}
+
+// RecoveryCounters returns (retried, recovered, duplicates suppressed);
+// all zero when recovery is not armed.
+func (fw *Firmware) RecoveryCounters() (retried, recovered, dups uint64) {
+	if fw.rec == nil {
+		return 0, 0, 0
+	}
+	return fw.rec.Retried, fw.rec.Recovered, fw.rec.DupSuppressed
+}
+
+// OutstandingDMAs reports pending (incomplete) recovery tokens.
+func (fw *Firmware) OutstandingDMAs() int {
+	if fw.rec == nil {
+		return 0
+	}
+	n := 0
+	for _, tok := range fw.rec.pending {
+		if !tok.done {
+			n++
+		}
+	}
+	return n
+}
+
+// expect wraps a DMA completion callback with loss/duplication protection.
+// When recovery is not armed it returns fire unchanged — the fault machinery
+// costs nothing on fault-free runs. When armed, the returned callback fires
+// at most once, and the recovery scan re-issues the transfer (via reissue) if
+// no completion arrives within the timeout.
+func (fw *Firmware) expect(class string, reissue func(onDone func()), fire func()) func() {
+	if fw.rec == nil {
+		return fire
+	}
+	tok := &dmaToken{class: class, issued: fw.rec.now(), fire: fire, reissue: reissue}
+	fw.rec.pending = append(fw.rec.pending, tok)
+	return fw.rec.complete(tok)
+}
+
+// complete returns the dedup'd completion callback for a token.
+func (r *recovery) complete(tok *dmaToken) func() {
+	return func() {
+		if tok.done {
+			r.DupSuppressed++
+			return
+		}
+		tok.done = true
+		if tok.tries > 0 {
+			r.Recovered++
+		}
+		tok.fire()
+	}
+}
+
+// RecoveryScan runs one timeout pass: tokens pending longer than the timeout
+// are re-issued. Completed tokens are retired from the list. The injector
+// pumps this on the fault event domain every couple of microseconds.
+func (fw *Firmware) RecoveryScan() {
+	r := fw.rec
+	if r == nil {
+		return
+	}
+	now := r.now()
+	kept := r.pending[:0]
+	for _, tok := range r.pending {
+		if tok.done {
+			continue
+		}
+		if now-tok.issued >= recoveryTimeout {
+			tok.tries++
+			tok.issued = now
+			r.Retried++
+			tok.reissue(r.complete(tok))
+		}
+		kept = append(kept, tok)
+	}
+	for i := len(kept); i < len(r.pending); i++ {
+		r.pending[i] = nil
+	}
+	r.pending = kept
+}
+
+// TakeOver rescues a preempted core's work: the remainder stream the core
+// surrendered plus its queued continuations move to the shared orphan queue,
+// which every healthy core drains ahead of new claims. It then repairs the
+// ordering state in case the preemption interrupted a flag operation whose
+// bookkeeping diverged from the bit arrays.
+func (fw *Firmware) TakeOver(coreID int, preempted *cpu.Stream) {
+	fw.Takeovers++
+	if preempted != nil {
+		fw.orphans = append(fw.orphans, preempted)
+		fw.Rescued++
+	}
+	if q := fw.cont[coreID]; len(q) > 0 {
+		fw.orphans = append(fw.orphans, q...)
+		fw.Rescued += uint64(len(q))
+		fw.cont[coreID] = nil
+	}
+	fw.repairFlags()
+}
+
+// repairFlags resynchronizes the ordering bookkeeping with the status-flag
+// arrays: the set counters must equal commit head plus the bits currently
+// set, and each array's scan head must sit at the commit point. Preemption
+// preserves flag consistency by construction (flag sets fire through the
+// crossbar even on a stuck core, and Preempt runs or re-issues interrupted
+// OnComplete exactly once), so repairs are normally zero; this is the
+// belt-and-suspenders pass that restores the invariant if that ever breaks.
+func (fw *Firmware) repairFlags() {
+	fix := func(ba *mem.BitArray, set *uint64, head uint64) {
+		n := 0
+		for i := 0; i < FlagBits; i++ {
+			if ba.IsSet(i) {
+				n++
+			}
+		}
+		if want := head + uint64(n); *set != want {
+			*set = want
+			fw.FlagRepairs++
+		}
+		if ba.Head() != int(head%FlagBits) {
+			ba.Seek(int(head % FlagBits))
+			fw.FlagRepairs++
+		}
+	}
+	fix(fw.sendFlags, &fw.sendSet, fw.sendCommitHead)
+	fix(fw.recvFlags, &fw.recvSet, fw.recvCommitHead)
+}
+
+// AuditSend checks send-direction frame conservation: every frame the BD
+// fetch admitted is in exactly one pipeline stage or already committed.
+func (fw *Firmware) AuditSend() error {
+	inFlight := uint64(len(fw.prepQ)+fw.claimedSend+fw.dmaOutSend+len(fw.sendDMADone)+fw.ordPendSend) +
+		(fw.sendSet - fw.sendCommitHead)
+	if got := fw.sendSeq - fw.sendCommitHead; got != inFlight {
+		return fmt.Errorf("send conservation: seq-head=%d but stages sum to %d (prepQ=%d claimed=%d dmaOut=%d dmaDone=%d ordPend=%d set-head=%d)",
+			got, inFlight, len(fw.prepQ), fw.claimedSend, fw.dmaOutSend, len(fw.sendDMADone), fw.ordPendSend, fw.sendSet-fw.sendCommitHead)
+	}
+	return nil
+}
+
+// AuditRecv checks receive-direction frame conservation.
+func (fw *Firmware) AuditRecv() error {
+	inFlight := uint64(len(fw.rxArrivedQ)+fw.claimedRecv+fw.dmaOutRecv+len(fw.rxDMADone)+fw.ordPendRecv) +
+		(fw.recvSet - fw.recvCommitHead)
+	if got := fw.recvSeq - fw.recvCommitHead; got != inFlight {
+		return fmt.Errorf("recv conservation: seq-head=%d but stages sum to %d (arrived=%d claimed=%d dmaOut=%d dmaDone=%d ordPend=%d set-head=%d)",
+			got, inFlight, len(fw.rxArrivedQ), fw.claimedRecv, fw.dmaOutRecv, len(fw.rxDMADone), fw.ordPendRecv, fw.recvSet-fw.recvCommitHead)
+	}
+	return nil
+}
+
+// PendingWork reports frames and events still flowing through the firmware;
+// zero means the pipelines are drained. The watchdog uses it to distinguish
+// a quiet machine from a livelocked one.
+func (fw *Firmware) PendingWork() int {
+	return int(fw.sendSeq-fw.sendCommitHead) + int(fw.recvSeq-fw.recvCommitHead) +
+		len(fw.txDoneQ) + len(fw.recvDoneQ) + len(fw.orphans)
+}
+
+// ProgressSignature summarizes pipeline advance for the forward-progress
+// watchdog: if two consecutive checks see the same signature while
+// PendingWork is nonzero, the machine is livelocked. Retry and takeover
+// counters are included so active recovery counts as progress.
+func (fw *Firmware) ProgressSignature() [8]uint64 {
+	var retried uint64
+	if fw.rec != nil {
+		retried = fw.rec.Retried
+	}
+	return [8]uint64{
+		fw.sendSeq, fw.recvSeq,
+		fw.sendCommitHead, fw.recvCommitHead,
+		fw.sendSet, fw.recvSet,
+		retried, fw.Takeovers,
+	}
+}
+
+// RecvSeq returns the number of frames the MAC has handed to firmware.
+func (fw *Firmware) RecvSeq() uint64 { return fw.recvSeq }
+
+// SendSeq returns the number of frames admitted by send-BD fetches.
+func (fw *Firmware) SendSeq() uint64 { return fw.sendSeq }
+
+// SabotageLeak deliberately corrupts the firmware by dropping one frame from
+// an intake queue without any bookkeeping: the frame's ring entry and audit
+// accounting are left dangling. Used only to prove the invariant checker
+// detects frame leaks; never called in normal operation.
+func (fw *Firmware) SabotageLeak(send bool) {
+	if send {
+		if len(fw.prepQ) > 0 {
+			fw.prepQ = fw.prepQ[1:]
+		}
+	} else {
+		if len(fw.rxArrivedQ) > 0 {
+			fw.rxArrivedQ = fw.rxArrivedQ[1:]
+		}
+	}
+}
+
+// SabotageSwap deliberately swaps two adjacent occupied ring slots past the
+// commit head so the next commits deliver frames out of order. Used only to
+// prove the invariant checker detects ordering violations.
+func (fw *Firmware) SabotageSwap(send bool) {
+	if send {
+		for i := uint64(0); i+1 < FlagBits; i++ {
+			a := (fw.sendCommitHead + i) % FlagBits
+			b := (fw.sendCommitHead + i + 1) % FlagBits
+			if fw.sendRing[a] != nil && fw.sendRing[b] != nil {
+				fw.sendRing[a], fw.sendRing[b] = fw.sendRing[b], fw.sendRing[a]
+				return
+			}
+		}
+	} else {
+		for i := uint64(0); i+1 < FlagBits; i++ {
+			a := (fw.recvCommitHead + i) % FlagBits
+			b := (fw.recvCommitHead + i + 1) % FlagBits
+			if fw.recvRing[a] != nil && fw.recvRing[b] != nil {
+				fw.recvRing[a], fw.recvRing[b] = fw.recvRing[b], fw.recvRing[a]
+				return
+			}
+		}
+	}
+}

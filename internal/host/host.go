@@ -64,6 +64,23 @@ func DefaultConfig() Config {
 	return Config{DMALatencyCycles: 133, SendRing: 512, RecvRing: 512, PostBatch: 64}
 }
 
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	if c.DMALatencyCycles < 0 {
+		return fmt.Errorf("host: negative DMA latency %d", c.DMALatencyCycles)
+	}
+	if c.SendRing <= 0 {
+		return fmt.Errorf("host: send ring must be positive, got %d", c.SendRing)
+	}
+	if c.RecvRing <= 0 {
+		return fmt.Errorf("host: receive ring must be positive, got %d", c.RecvRing)
+	}
+	if c.PostBatch <= 0 {
+		return fmt.Errorf("host: post batch must be positive, got %d", c.PostBatch)
+	}
+	return nil
+}
+
 // Host is the host processor, memory, and driver model. It implements the
 // assists' Host interface (Delay). Register Tick in the host clock domain.
 type Host struct {
@@ -85,6 +102,18 @@ type Host struct {
 	recvPosted int // receive buffers currently posted
 	recvTaken  int
 
+	// Fault model. The NIC sees only descriptors announced by a successful
+	// mailbox doorbell: sendVisible/recvVisible trail the actual ring state
+	// when a doorbell write is lost, and the driver re-rings on a later tick
+	// (so a lost mailbox write delays, never deadlocks). starved halts the
+	// driver entirely, modeling host descriptor-ring starvation.
+	starved     bool
+	sendVisible int // send BDs announced to the NIC
+	recvVisible int // receive buffers announced to the NIC
+	loseMailbox int // armed doorbell losses
+	MailboxLost stats.Counter
+	StarvedTicks stats.Counter
+
 	// Delivered traffic accounting and in-order validation.
 	SendCompleted stats.Counter
 	RecvDelivered stats.Counter
@@ -103,12 +132,34 @@ type delayed struct {
 	f  func()
 }
 
-// New creates a host model.
+// New creates a host model. The configuration must already satisfy Validate;
+// callers building from user input should Validate first and report errors.
 func New(cfg Config) *Host {
-	if cfg.SendRing <= 0 || cfg.RecvRing <= 0 || cfg.DMALatencyCycles < 0 || cfg.PostBatch <= 0 {
-		panic(fmt.Sprintf("host: bad config %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &Host{cfg: cfg}
+}
+
+// SetStarved halts (true) or resumes (false) the driver, modeling descriptor
+// ring starvation: no new send postings and no receive replenishment while
+// starved. DMA completions still fire.
+func (h *Host) SetStarved(v bool) { h.starved = v }
+
+// LoseMailboxWrites arms n doorbell losses: the next n mailbox writes are
+// dropped on the floor and the NIC does not see the descriptors they would
+// have announced until a later doorbell succeeds.
+func (h *Host) LoseMailboxWrites(n int) { h.loseMailbox += n }
+
+// mailboxWrite attempts one doorbell; false means the write was lost.
+func (h *Host) mailboxWrite() bool {
+	h.mailboxWrites.Inc()
+	if h.loseMailbox > 0 {
+		h.loseMailbox--
+		h.MailboxLost.Inc()
+		return false
+	}
+	return true
 }
 
 // Delay schedules f after the DMA round-trip latency. It implements the
@@ -137,6 +188,10 @@ func (h *Host) Tick(cycle uint64) {
 // driver posts send descriptors while ring space allows and replenishes the
 // receive pool, writing the mailbox for each batch.
 func (h *Host) driver() {
+	if h.starved {
+		h.StarvedTicks.Inc()
+		return
+	}
 	posted := 0
 	for posted < h.cfg.PostBatch && h.inFlight < h.cfg.SendRing && h.Source != nil {
 		f := h.Source.Next()
@@ -151,31 +206,41 @@ func (h *Host) driver() {
 		h.postedFrames++
 		posted++
 	}
-	if posted > 0 {
-		h.mailboxWrites.Inc()
+	// Ring the send doorbell when there is anything new to announce,
+	// including postings a previously lost doorbell failed to announce.
+	if posted > 0 || h.sendVisible < len(h.sendBDs) {
+		if h.mailboxWrite() {
+			h.sendVisible = len(h.sendBDs)
+		}
 	}
 	if h.recvPosted < h.cfg.RecvRing {
 		h.recvPosted = h.cfg.RecvRing
-		h.mailboxWrites.Inc()
+	}
+	if h.recvVisible < h.recvPosted {
+		if h.mailboxWrite() {
+			h.recvVisible = h.recvPosted
+		}
 	}
 }
 
-// PostedSendBDs returns the number of send descriptors available to fetch.
-func (h *Host) PostedSendBDs() int { return len(h.sendBDs) }
+// PostedSendBDs returns the number of send descriptors the NIC can see (those
+// announced by a successful doorbell).
+func (h *Host) PostedSendBDs() int { return h.sendVisible }
 
-// TakeSendBDs removes and returns up to max posted send descriptors, the
+// TakeSendBDs removes and returns up to max visible send descriptors, the
 // functional effect of a descriptor-batch DMA.
 func (h *Host) TakeSendBDs(max int) []SendBD {
-	if max > len(h.sendBDs) {
-		max = len(h.sendBDs)
+	if max > h.sendVisible {
+		max = h.sendVisible
 	}
 	out := h.sendBDs[:max]
 	h.sendBDs = h.sendBDs[max:]
+	h.sendVisible -= max
 	return out
 }
 
-// PostedRecvBDs returns the number of receive buffers available to fetch.
-func (h *Host) PostedRecvBDs() int { return h.recvPosted - h.recvTaken }
+// PostedRecvBDs returns the number of receive buffers the NIC can see.
+func (h *Host) PostedRecvBDs() int { return h.recvVisible - h.recvTaken }
 
 // TakeRecvBDs consumes up to max posted receive buffers and returns how many
 // were taken.
@@ -204,6 +269,7 @@ func (h *Host) CompleteSend(n int) {
 // carried, the frame and UDP checksums.
 func (h *Host) DeliverFrame(f *Frame) {
 	h.recvPosted--
+	h.recvVisible--
 	h.recvTaken--
 	h.RecvDelivered.Inc()
 	h.RecvBytes.Add(uint64(f.UDPSize))

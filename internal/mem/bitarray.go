@@ -47,6 +47,11 @@ func (b *BitArray) Bits() int { return b.bits }
 // Head returns the current commit point (the next bit index Update expects).
 func (b *BitArray) Head() int { return b.head }
 
+// Seek repositions the scan head. Normal operation never needs it; firmware
+// fault recovery uses it to resynchronize the array with its commit pointer
+// after repairing corrupted ordering state.
+func (b *BitArray) Seek(bit int) { b.head = ((bit % b.bits) + b.bits) % b.bits }
+
 // Set atomically sets bit i (mod Bits). This is one scratchpad transaction;
 // the word update itself is quiet (Peek/Poke) because the owning core or
 // assist issues the timing-visible access for it.

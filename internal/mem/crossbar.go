@@ -29,6 +29,12 @@ type Crossbar struct {
 	Grants []stats.Counter
 	// WaitCycles accumulates arbitration wait per port (conflict stalls).
 	WaitCycles []stats.Counter
+
+	// BankStall, when non-nil, reports that a resource must grant nothing
+	// this cycle (transient bank-error injection). Pending requests simply
+	// keep waiting, accumulating conflict stalls exactly like arbitration
+	// losses; grants already in flight still complete.
+	BankStall func(resource int) bool
 }
 
 type grant struct {
@@ -115,6 +121,9 @@ func (x *Crossbar) Tick(cycle uint64) {
 	}
 	// Arbitrate: each resource grants at most one waiting request.
 	for r := 0; r < x.resources; r++ {
+		if x.BankStall != nil && x.BankStall(r) {
+			continue
+		}
 		granted := -1
 		for i := 1; i <= len(x.ports); i++ {
 			pi := (x.rr[r] + i) % len(x.ports)

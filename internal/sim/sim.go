@@ -45,7 +45,13 @@ type TickFunc func(cycle uint64)
 // Tick calls f(cycle).
 func (f TickFunc) Tick(cycle uint64) { f(cycle) }
 
-// A Domain is a clock domain with a fixed frequency.
+// NoEdge is the next-edge sentinel of an event-driven domain with nothing
+// scheduled: it never wins the engine's min-edge selection, so an empty
+// event domain costs one comparison per step and nothing else.
+const NoEdge = Picoseconds(1<<64 - 1)
+
+// A Domain is a clock domain with a fixed frequency, or an event-driven
+// domain whose "edges" are explicitly scheduled instants (NewEventDomain).
 //
 // The period is rounded to an integer number of picoseconds; at 166 MHz the
 // resulting frequency error is below 0.003%, far under the modeling noise of
@@ -58,6 +64,17 @@ type Domain struct {
 	cycle   uint64
 	tickers []Ticker
 	order   int
+
+	eventDriven bool
+	events      []schedEvent
+	seq         uint64
+	eng         *Engine
+}
+
+type schedEvent struct {
+	at  Picoseconds
+	seq uint64
+	f   func()
 }
 
 // NewDomain creates a clock domain running at the given frequency in hertz.
@@ -72,6 +89,63 @@ func NewDomain(name string, hz float64) *Domain {
 		period = 1
 	}
 	return &Domain{name: name, period: period, hz: hz}
+}
+
+// NewEventDomain creates an event-driven domain: instead of a fixed clock it
+// fires callbacks at explicitly scheduled simulated-time points (Schedule).
+// The fault scheduler runs in such a domain so that injected events land at
+// exact picosecond instants without perturbing any clocked domain's edges.
+func NewEventDomain(name string) *Domain {
+	return &Domain{name: name, next: NoEdge, eventDriven: true}
+}
+
+// Schedule registers f to run at the given absolute simulated time. Times in
+// the past (relative to the owning engine's clock) are clamped to "now", so f
+// runs on the engine's next step. Events at the same instant run in schedule
+// order. Panics on a clocked domain.
+func (d *Domain) Schedule(at Picoseconds, f func()) {
+	if !d.eventDriven {
+		panic(fmt.Sprintf("sim: domain %q is not event-driven", d.name))
+	}
+	if d.eng != nil && at < d.eng.now {
+		at = d.eng.now
+	}
+	d.seq++
+	d.events = append(d.events, schedEvent{at: at, seq: d.seq, f: f})
+	if at < d.next {
+		d.next = at
+	}
+}
+
+// runEvents fires every scheduled event due at or before now, in (time,
+// schedule-order) order. Callbacks may schedule further events, including at
+// the current instant.
+func (d *Domain) runEvents(now Picoseconds) {
+	for {
+		best := -1
+		for i := range d.events {
+			ev := &d.events[i]
+			if ev.at > now {
+				continue
+			}
+			if best < 0 || ev.at < d.events[best].at ||
+				(ev.at == d.events[best].at && ev.seq < d.events[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		f := d.events[best].f
+		d.events = append(d.events[:best], d.events[best+1:]...)
+		f()
+	}
+	d.next = NoEdge
+	for i := range d.events {
+		if d.events[i].at < d.next {
+			d.next = d.events[i].at
+		}
+	}
 }
 
 // Name returns the domain's name.
@@ -107,10 +181,15 @@ func NewEngine(domains ...*Domain) *Engine {
 	return e
 }
 
-// AddDomain registers a clock domain with the engine.
+// AddDomain registers a domain with the engine. Clocked domains get their
+// first edge one period from now; event-driven domains keep whatever is
+// scheduled (or NoEdge).
 func (e *Engine) AddDomain(d *Domain) {
 	d.order = len(e.domains)
-	d.next = e.now + d.period
+	d.eng = e
+	if !d.eventDriven {
+		d.next = e.now + d.period
+	}
 	e.domains = append(e.domains, d)
 }
 
@@ -140,6 +219,9 @@ func (e *Engine) Step() bool {
 			next = d.next
 		}
 	}
+	if next == NoEdge {
+		return false
+	}
 	e.now = next
 	// Collect due domains in registration order so that simultaneous edges
 	// across domains are deterministic.
@@ -151,6 +233,11 @@ func (e *Engine) Step() bool {
 	}
 	sort.Slice(due, func(i, j int) bool { return due[i].order < due[j].order })
 	for _, d := range due {
+		if d.eventDriven {
+			d.runEvents(next)
+			d.cycle++
+			continue
+		}
 		for _, t := range d.tickers {
 			t.Tick(d.cycle)
 		}

@@ -144,3 +144,81 @@ func TestEngineTimeAdvancesMonotonically(t *testing.T) {
 		last = e.Now()
 	}
 }
+
+func TestEventDomainFiresInTimeThenSeqOrder(t *testing.T) {
+	clk := NewDomain("clk", 100e6)
+	dom := NewEventDomain("ev")
+	e := NewEngine(clk)
+	e.AddDomain(dom)
+	var order []string
+	dom.Schedule(30*Nanosecond, func() { order = append(order, "c") })
+	dom.Schedule(10*Nanosecond, func() { order = append(order, "a") })
+	dom.Schedule(10*Nanosecond, func() { order = append(order, "b") }) // same instant: registration order
+	e.RunFor(Microsecond)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestEventDomainSelfReschedule(t *testing.T) {
+	clk := NewDomain("clk", 100e6)
+	dom := NewEventDomain("ev")
+	e := NewEngine(clk)
+	e.AddDomain(dom)
+	var fired []Picoseconds
+	var pump func(at Picoseconds) func()
+	pump = func(at Picoseconds) func() {
+		return func() {
+			fired = append(fired, e.Now())
+			dom.Schedule(at+100*Nanosecond, pump(at+100*Nanosecond))
+		}
+	}
+	dom.Schedule(100*Nanosecond, pump(100*Nanosecond))
+	e.RunFor(Microsecond)
+	if len(fired) != 10 {
+		t.Fatalf("pump fired %d times over 1us at 100ns spacing, want 10", len(fired))
+	}
+	for i, at := range fired {
+		if want := Picoseconds(i+1) * 100 * Nanosecond; at != want {
+			t.Errorf("firing %d at %d ps, want %d", i, at, want)
+		}
+	}
+}
+
+func TestEventDomainPastEventClampsToNow(t *testing.T) {
+	clk := NewDomain("clk", 100e6)
+	dom := NewEventDomain("ev")
+	e := NewEngine(clk)
+	e.AddDomain(dom)
+	e.RunFor(500 * Nanosecond)
+	fired := false
+	dom.Schedule(10*Nanosecond, func() { fired = true }) // already in the past
+	e.RunFor(100 * Nanosecond)
+	if !fired {
+		t.Error("past-dated event never fired")
+	}
+}
+
+func TestEventDomainScheduleOnClockedDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule on a clocked domain did not panic")
+		}
+	}()
+	NewDomain("clk", 100e6).Schedule(Nanosecond, func() {})
+}
+
+func TestEngineIdlesWithOnlyExhaustedEventDomain(t *testing.T) {
+	dom := NewEventDomain("ev")
+	e := NewEngine()
+	e.AddDomain(dom)
+	ran := false
+	dom.Schedule(Nanosecond, func() { ran = true })
+	e.RunFor(Microsecond) // must terminate despite no clocked domain
+	if !ran {
+		t.Error("scheduled event never fired")
+	}
+	if e.Step() {
+		t.Error("Step reported progress with no pending events")
+	}
+}

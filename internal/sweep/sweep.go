@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // Spec kinds. KindNIC is a full-controller simulation yielding a
@@ -56,6 +57,11 @@ type Spec struct {
 
 	// MaxRefs caps captured memory references (KindFig3 only).
 	MaxRefs int `json:"max_refs,omitempty"`
+
+	// Faults is an optional deterministic fault plan injected into the run.
+	// Nil (the fault-free case) is omitted from the JSON encoding, so every
+	// pre-existing spec hash is unchanged.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // specSchema is folded into every hash so that incompatible changes to the
