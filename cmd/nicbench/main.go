@@ -16,6 +16,12 @@
 //	nicbench -all -out results/ -resume
 //	nicbench -quick -check             # gate vs committed baselines (CI)
 //	nicbench -quick -check -update-baseline  # refresh golden baselines
+//	nicbench -quick -all -times        # per-job sim-time/wall-time summary
+//	nicbench -all -cpuprofile cpu.prof # CPU profile of the whole run
+//	nicbench -all -memprofile mem.prof # heap profile at exit
+//	nicbench -quick -all -tickprof -json  # per-domain tick costs in results
+//	nicbench -quick -simspeed-check    # gate vs BENCH_simspeed.json (CI)
+//	nicbench -simspeed-update          # refresh BENCH_simspeed.json
 package main
 
 import (
@@ -26,6 +32,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,8 +65,60 @@ func run() int {
 		check    = flag.Bool("check", false, "compare results against golden baselines; non-zero exit on regression")
 		baseline = flag.String("baseline", "baselines/gate.json", "golden baseline file for -check/-update-baseline")
 		update   = flag.Bool("update-baseline", false, "write fresh golden baselines to -baseline")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		times      = flag.Bool("times", false, "print a per-job simulated-time/wall-time summary")
+		tickProf   = flag.Bool("tickprof", false, "collect per-domain tick costs (tick_costs in -json results)")
+
+		ssCheck  = flag.Bool("simspeed-check", false, "measure simulation speed and compare against -simspeed-file; non-zero exit on regression")
+		ssUpdate = flag.Bool("simspeed-update", false, "measure simulation speed and rewrite -simspeed-file")
+		ssFile   = flag.String("simspeed-file", "BENCH_simspeed.json", "committed simulation-speed baseline for -simspeed-check/-simspeed-update")
 	)
 	flag.Parse()
+
+	// Batch tool: trade heap headroom for throughput. The simulator's
+	// allocation rate makes the default GC target (~100%) spend a measurable
+	// slice of the run collecting; a larger target cuts that without changing
+	// any result. An explicit GOGC in the environment still wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nicbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nicbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nicbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "nicbench:", err)
+			}
+		}()
+	}
+	experiments.TickProfile = *tickProf
+
+	if *ssCheck || *ssUpdate {
+		return runSimSpeed(*ssFile, *ssCheck, *ssUpdate, *quick)
+	}
 
 	b := experiments.Full
 	budgetName := "full"
@@ -171,6 +232,9 @@ func run() int {
 		}
 	}
 
+	if *times {
+		printTimes(allResults)
+	}
 	fmt.Fprintf(os.Stderr, "nicbench: %d simulated, %d cached, %d failed in %.1fs (budget %s)\n",
 		ran, hit, len(failed), time.Since(start).Seconds(), budgetName)
 	for _, r := range failed {
@@ -262,6 +326,77 @@ func selectSuites(table, figure int, ablation, suiteList string, all, gateDefaul
 		}
 	}
 	return sel, nil
+}
+
+// printTimes emits a -list-style per-job summary of simulated time versus
+// wall time. Cached results carry no meaningful wall time and are marked so.
+func printTimes(results []sweep.Result) {
+	fmt.Printf("%-28s %10s %10s %12s\n", "job", "sim-us", "wall-s", "sim-ns/wall-ms")
+	var simTot, wallTot float64
+	for _, r := range results {
+		if !r.OK() {
+			continue
+		}
+		simUs := float64(r.Spec.WarmupPs+r.Spec.MeasurePs) / 1e6
+		if r.Cached {
+			fmt.Printf("%-28s %10.0f %10s %12s\n", r.ID, simUs, "cached", "-")
+			continue
+		}
+		ratio := 0.0
+		if r.ElapsedSec > 0 {
+			// simulated ns advanced per wall millisecond.
+			ratio = (simUs * 1e3) / (r.ElapsedSec * 1e3)
+		}
+		fmt.Printf("%-28s %10.0f %10.2f %12.0f\n", r.ID, simUs, r.ElapsedSec, ratio)
+		simTot += simUs
+		wallTot += r.ElapsedSec
+	}
+	if wallTot > 0 {
+		fmt.Printf("%-28s %10.0f %10.2f %12.0f\n", "total (simulated jobs)", simTot, wallTot, simTot*1e3/(wallTot*1e3))
+	}
+}
+
+// runSimSpeed measures the simulation-speed operating points and either
+// rewrites the committed baseline (-simspeed-update) or gates against it
+// (-simspeed-check).
+func runSimSpeed(path string, check, update, quick bool) int {
+	b := experiments.Full
+	if quick {
+		b = experiments.Quick
+	}
+	fresh := experiments.MeasureSimSpeed(b)
+	for _, p := range fresh {
+		fmt.Printf("simspeed %-16s %8.0f sim-ns/wall-ms  %7.3f allocs/step  %d steps\n",
+			p.Name, p.SimNsPerWallMs, p.AllocsPerStep, p.Steps)
+	}
+	if update {
+		f := experiments.SimSpeedFile{Schema: experiments.SimSpeedSchema, Tolerance: 0.25, Points: fresh}
+		if old, err := experiments.LoadSimSpeed(path); err == nil {
+			// Keep the informational suite-wall fields across refreshes.
+			f.Tolerance = old.Tolerance
+			f.QuickSuiteWallSec = old.QuickSuiteWallSec
+			f.QuickSuiteWallSecPrev = old.QuickSuiteWallSecPrev
+		}
+		if err := experiments.WriteSimSpeed(path, f); err != nil {
+			fmt.Fprintln(os.Stderr, "nicbench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "nicbench: wrote %d simspeed points to %s\n", len(fresh), path)
+		return 0
+	}
+	base, err := experiments.LoadSimSpeed(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicbench:", err)
+		return 1
+	}
+	if bad := experiments.CompareSimSpeed(base, fresh); len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "nicbench: SIMSPEED REGRESSION:", m)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "nicbench: simulation speed OK (%s)\n", path)
+	return 0
 }
 
 func listSuites(b experiments.Budget, budgetName string) {

@@ -33,8 +33,15 @@ type ScratchPort struct {
 	port int
 	proc int // trace attribution id
 
+	// queue is a head-indexed FIFO: popping advances qhead instead of
+	// re-slicing, so the backing array is reused instead of reallocated.
 	queue []spOp
+	qhead int
 	busy  bool
+	// The crossbar holds at most one access per port, so the completion
+	// callback is one pre-bound closure over cur — not an allocation per op.
+	cur    spOp
+	onDone func(waited uint64)
 
 	// TraceMem observes completed accesses for coherence traces.
 	TraceMem func(trace.MemRef)
@@ -50,7 +57,29 @@ type spOp struct {
 // NewScratchPort creates a port adapter. proc is the processor id used in
 // captured memory traces.
 func NewScratchPort(sp *mem.Scratchpad, xbar *mem.Crossbar, port, proc int) *ScratchPort {
-	return &ScratchPort{sp: sp, xbar: xbar, port: port, proc: proc}
+	p := &ScratchPort{sp: sp, xbar: xbar, port: port, proc: proc}
+	p.onDone = p.complete
+	return p
+}
+
+// complete is the shared crossbar completion callback for the port's single
+// outstanding access.
+func (p *ScratchPort) complete(uint64) {
+	op := p.cur
+	p.cur = spOp{}
+	if op.write {
+		p.sp.CountWrite(op.addr)
+	} else {
+		p.sp.CountRead(op.addr)
+	}
+	p.Accesses.Inc()
+	if p.TraceMem != nil {
+		p.TraceMem(trace.MemRef{Proc: p.proc, Addr: op.addr, Write: op.write})
+	}
+	p.busy = false
+	if op.onDone != nil {
+		op.onDone()
+	}
 }
 
 // Read enqueues a scratchpad read; onDone (may be nil) runs at completion.
@@ -64,31 +93,22 @@ func (p *ScratchPort) Write(addr uint32, onDone func()) {
 }
 
 // Pending returns the number of queued (unissued) accesses.
-func (p *ScratchPort) Pending() int { return len(p.queue) }
+func (p *ScratchPort) Pending() int { return len(p.queue) - p.qhead }
 
 // Tick issues at most one access per CPU cycle.
 func (p *ScratchPort) Tick(cycle uint64) {
-	if p.busy || len(p.queue) == 0 {
+	if p.busy || p.qhead == len(p.queue) {
 		return
 	}
-	op := p.queue[0]
-	p.queue = p.queue[1:]
+	op := p.queue[p.qhead]
+	p.queue[p.qhead] = spOp{}
+	p.qhead++
+	if p.qhead == len(p.queue) {
+		p.queue, p.qhead = p.queue[:0], 0
+	}
 	p.busy = true
-	p.xbar.Submit(p.port, p.sp.Bank(op.addr), op.write, func(uint64) {
-		if op.write {
-			p.sp.CountWrite(op.addr)
-		} else {
-			p.sp.CountRead(op.addr)
-		}
-		p.Accesses.Inc()
-		if p.TraceMem != nil {
-			p.TraceMem(trace.MemRef{Proc: p.proc, Addr: op.addr, Write: op.write})
-		}
-		p.busy = false
-		if op.onDone != nil {
-			op.onDone()
-		}
-	})
+	p.cur = op
+	p.xbar.Submit(p.port, p.sp.Bank(op.addr), op.write, p.onDone)
 }
 
 // job is one unit of assist work, a sequence of phases executed by the
@@ -101,9 +121,11 @@ type job struct {
 
 // engine is a common in-order job pipeline with bounded overlap.
 type engine struct {
-	name     string
-	depth    int
+	name  string
+	depth int
+	// queue is a head-indexed FIFO (see ScratchPort.queue).
 	queue    []job
+	qhead    int
 	inFlight int
 	// completion ordering: jobs finish the pipeline in start order.
 	Completed stats.Counter
@@ -125,13 +147,17 @@ func newEngine(name string, depth int) *engine {
 func (e *engine) enqueue(j job) { e.queue = append(e.queue, j) }
 
 // QueueLen returns queued plus in-flight jobs.
-func (e *engine) QueueLen() int { return len(e.queue) + e.inFlight }
+func (e *engine) QueueLen() int { return len(e.queue) - e.qhead + e.inFlight }
 
 // tick starts jobs while pipeline slots are free.
 func (e *engine) tick() {
-	for e.inFlight < e.depth && len(e.queue) > 0 {
-		j := e.queue[0]
-		e.queue = e.queue[1:]
+	for e.inFlight < e.depth && e.qhead < len(e.queue) {
+		j := e.queue[e.qhead]
+		e.queue[e.qhead] = job{}
+		e.qhead++
+		if e.qhead == len(e.queue) {
+			e.queue, e.qhead = e.queue[:0], 0
+		}
 		e.inFlight++
 		j.run(func() {
 			e.inFlight--
@@ -154,3 +180,9 @@ func (e *engine) tick() {
 		})
 	}
 }
+
+// Quiescent reports that the port has no queued or issued access.
+func (p *ScratchPort) Quiescent() bool { return !p.busy && p.qhead == len(p.queue) }
+
+// quiescent reports that the pipeline has no queued or in-flight job.
+func (e *engine) quiescent() bool { return e.qhead == len(e.queue) && e.inFlight == 0 }

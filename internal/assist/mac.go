@@ -29,6 +29,7 @@ type MACTx struct {
 
 	ProgressAddr uint32
 	Progress     stats.Counter
+	progressInc  func() // pre-bound progress-pointer completion
 
 	// OnTransmit fires when a frame's last byte leaves the wire.
 	OnTransmit func(handle any)
@@ -53,7 +54,9 @@ type txFrame struct {
 
 // NewMACTx creates the transmit engine.
 func NewMACTx(port *ScratchPort, sdram *mem.SDRAM, sdramPort int, progressAddr uint32) *MACTx {
-	return &MACTx{Port: port, sdram: sdram, sdramPort: sdramPort, ProgressAddr: progressAddr}
+	m := &MACTx{Port: port, sdram: sdram, sdramPort: sdramPort, ProgressAddr: progressAddr}
+	m.progressInc = func() { m.Progress.Inc() }
+	return m
 }
 
 // Send queues one committed frame for transmission.
@@ -113,7 +116,7 @@ func (m *MACTx) TickMAC(cycle uint64) {
 		f := m.cur
 		m.TxFrames.Inc()
 		m.TxBytes.Add(uint64(f.size))
-		m.Port.Write(m.ProgressAddr, func() { m.Progress.Inc() })
+		m.Port.Write(m.ProgressAddr, m.progressInc)
 		if m.OnTransmit != nil {
 			m.OnTransmit(f.handle)
 		}
@@ -138,6 +141,7 @@ type MACRx struct {
 
 	ProgressAddr uint32
 	Progress     stats.Counter
+	progressInc  func() // pre-bound progress-pointer completion
 
 	// Source provides arriving frames.
 	Source NetworkSource
@@ -174,7 +178,9 @@ const (
 
 // NewMACRx creates the receive engine.
 func NewMACRx(port *ScratchPort, sdram *mem.SDRAM, sdramPort int, progressAddr uint32) *MACRx {
-	return &MACRx{Port: port, sdram: sdram, sdramPort: sdramPort, ProgressAddr: progressAddr}
+	m := &MACRx{Port: port, sdram: sdram, sdramPort: sdramPort, ProgressAddr: progressAddr}
+	m.progressInc = func() { m.Progress.Inc() }
+	return m
 }
 
 // Staged reports frames sitting in the staging buffer awaiting their SDRAM
@@ -240,10 +246,48 @@ func (m *MACRx) frameArrived(size int, handle any) {
 		Addr: addr, Len: size, Write: true,
 		OnDone: func() {
 			m.staged--
-			m.Port.Write(m.ProgressAddr, func() { m.Progress.Inc() })
+			m.Port.Write(m.ProgressAddr, m.progressInc)
 			if m.OnReceive != nil {
 				m.OnReceive(addr, size, handle)
 			}
 		},
 	})
 }
+
+// Quiescent reports that the CPU-domain half of MACTx has nothing to do: no
+// committed frame waiting, no SDRAM fetch outstanding, and an idle port.
+// Staged frames and the wire belong to the MAC-domain half (TxWire).
+func (m *MACTx) Quiescent() bool {
+	return !m.fetching && len(m.queue) == 0 && m.Port.Quiescent()
+}
+
+// Quiescent reports that the CPU-domain half of MACRx (the scratchpad port
+// pump) is idle.
+func (m *MACRx) Quiescent() bool { return m.Port.Quiescent() }
+
+// TxWire adapts the MAC-domain half of MACTx to a sim.Ticker that supports
+// idle-skip: quiescent when nothing is staged or on the wire.
+type TxWire struct{ M *MACTx }
+
+// Tick advances the transmit wire.
+func (w TxWire) Tick(cycle uint64) { w.M.TickMAC(cycle) }
+
+// Quiescent reports an idle transmit wire with an empty staging buffer.
+func (w TxWire) Quiescent() bool { return w.M.wireRemain == 0 && len(w.M.staged) == 0 }
+
+// SkipIdle accounts the wire-utilization denominator across skipped cycles.
+func (w TxWire) SkipIdle(cycles uint64) { w.M.WireBusy.Total.Add(cycles) }
+
+// RxWire adapts the MAC-domain half of MACRx to a sim.Ticker that supports
+// idle-skip. A receive wire with a Source attached is never quiescent: the
+// source is polled every MAC cycle and may present a frame at any instant.
+type RxWire struct{ M *MACRx }
+
+// Tick advances the receive wire.
+func (w RxWire) Tick(cycle uint64) { w.M.TickMAC(cycle) }
+
+// Quiescent reports an idle receive wire with no traffic source.
+func (w RxWire) Quiescent() bool { return w.M.wireRemain == 0 && w.M.Source == nil }
+
+// SkipIdle accounts the wire-utilization denominator across skipped cycles.
+func (w RxWire) SkipIdle(cycles uint64) { w.M.WireBusy.Total.Add(cycles) }

@@ -179,8 +179,8 @@ func New(cfg Config) *NIC {
 	sdramD.Add(n.SDRAM)
 
 	macD := sim.NewDomain("mac", assist.MACHz)
-	macD.Add(sim.TickFunc(n.As.MACTx.TickMAC))
-	macD.Add(sim.TickFunc(n.As.MACRx.TickMAC))
+	macD.Add(assist.TxWire{M: n.As.MACTx})
+	macD.Add(assist.RxWire{M: n.As.MACRx})
 
 	hostD := sim.NewDomain("host", 133e6)
 	hostD.Add(n.Host)

@@ -151,10 +151,27 @@ type Core struct {
 	// TraceMem, when set, observes every completed scratchpad transaction
 	// (for the Figure 3 coherence traces).
 	TraceMem func(trace.MemRef)
+	// AllowIdleSkip opts the core into engine idle-skip fast-forward while it
+	// has no stream. Leave false (the default, and what the NIC model uses)
+	// unless NextWork is nil or is known to be side-effect free when it
+	// returns nil: an idle tick polls NextWork, and skipping must not change
+	// what the poll would have observed or mutated. The firmware dispatcher
+	// rotates claim state on every poll, so firmware cores never skip.
+	AllowIdleSkip bool
 
 	cur   *Stream
 	opIdx int
 	pcOff uint32
+
+	// One crossbar transaction is outstanding per core at a time (waiting
+	// ops stall the pipeline; buffered stores block the next issue via the
+	// port-busy check), so the completion callback is a single pre-bound
+	// closure dispatching on xcb — not a fresh allocation per memory op.
+	xcb      xbarCb
+	xcbAddr  uint32
+	xcbDone  func()
+	xbarDone func(waited uint64)
+	onFill   func() // pre-bound instruction-fill completion
 
 	state     coreState
 	hazardCtr uint8
@@ -182,7 +199,7 @@ type Core struct {
 // New creates a core attached to the shared memory system. funcBuckets sizes
 // the per-function cycle attribution table.
 func New(id int, sp *mem.Scratchpad, xbar *mem.Crossbar, port int, icache *mem.ICache, imem *mem.InstrMemory, funcBuckets int) *Core {
-	return &Core{
+	c := &Core{
 		ID: id, sp: sp, xbar: xbar, port: port, icache: icache, imem: imem,
 		FuncCycles:     make([]uint64, funcBuckets),
 		FuncInstr:      make([]uint64, funcBuckets),
@@ -190,6 +207,99 @@ func New(id int, sp *mem.Scratchpad, xbar *mem.Crossbar, port int, icache *mem.I
 		FuncLockCycles: make([]uint64, funcBuckets),
 		FuncLockInstr:  make([]uint64, funcBuckets),
 	}
+	c.xbarDone = c.onXbarDone
+	c.onFill = func() { c.fillDone = true }
+	return c
+}
+
+// xbarCb tags the kind of crossbar transaction the core has outstanding, for
+// the shared completion callback.
+type xbarCb uint8
+
+const (
+	cbLoad xbarCb = iota
+	cbRMW
+	cbStore
+	cbLL
+	cbUnlock
+	cbSC
+)
+
+// onXbarDone is the completion callback for every core-issued crossbar
+// transaction; it reproduces exactly what the former per-op closures did,
+// using the transaction state recorded at submit time.
+func (c *Core) onXbarDone(_ uint64) {
+	addr, done := c.xcbAddr, c.xcbDone
+	c.xcbDone = nil
+	switch c.xcb {
+	case cbLoad:
+		c.sp.Read32(addr)
+		if c.TraceMem != nil {
+			c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: false})
+		}
+		if done != nil {
+			done()
+		}
+		c.memDone = true
+	case cbRMW:
+		// One atomic transaction; the functional flag update is carried by
+		// OnComplete against quiet bit-array state.
+		c.sp.Read32(addr)
+		if c.TraceMem != nil {
+			c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: true})
+		}
+		if done != nil {
+			done()
+		}
+		c.memDone = true
+	case cbStore:
+		// The store's functional payload (if any) is carried by OnComplete;
+		// the word itself is not clobbered, since status flags share words
+		// with generic store traffic.
+		c.sp.CountWrite(addr)
+		if c.TraceMem != nil {
+			c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: true})
+		}
+		if done != nil {
+			done()
+		}
+	case cbLL:
+		c.lockVal = c.sp.Read32(addr)
+		if c.TraceMem != nil {
+			c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: false})
+		}
+		c.memDone = true
+	case cbUnlock:
+		c.sp.Write32(addr, 0)
+		if c.TraceMem != nil {
+			c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: true})
+		}
+		if done != nil {
+			done()
+		}
+	case cbSC:
+		// Atomic at completion: the crossbar delivers one transaction per
+		// bank per cycle, so concurrent sc's serialize here.
+		if c.sp.Read32(addr) == 0 {
+			c.sp.Write32(addr, 1)
+			c.lockVal = 1 // success
+		} else {
+			c.lockVal = 0 // failure
+		}
+		if c.TraceMem != nil {
+			c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: true})
+		}
+		c.memDone = true
+	}
+}
+
+// submit records the outstanding transaction and hands the shared callback to
+// the crossbar.
+func (c *Core) submit(kind xbarCb, addr uint32, write bool, done func()) {
+	c.xcb = kind
+	c.xcbAddr = addr
+	c.xcbDone = done
+	c.xbar.Submit(c.port, c.sp.Bank(addr), write, c.xbarDone)
 }
 
 // acct returns the current stream's attribution bucket, or -1.
@@ -211,6 +321,20 @@ func (c *Core) inLockSeq() bool {
 
 // Busy reports whether the core is executing a stream.
 func (c *Core) Busy() bool { return c.cur != nil }
+
+// Quiescent reports that the core is idle and opted into idle-skip. A gated
+// core is never quiescent: the fault gate must be consulted (and may charge a
+// stall) every cycle.
+func (c *Core) Quiescent() bool {
+	return c.AllowIdleSkip && c.cur == nil && c.Gate == nil
+}
+
+// SkipIdle replays the bookkeeping of idle cycles the engine fast-forwarded
+// across, matching what idle Ticks would have recorded.
+func (c *Core) SkipIdle(cycles uint64) {
+	c.Stats.Cycles += cycles
+	c.Stats.IdleCycles += cycles
+}
 
 // Tick advances the core one CPU-domain cycle.
 func (c *Core) Tick(cycle uint64) {
@@ -347,7 +471,7 @@ func (c *Core) Tick(cycle uint64) {
 			pc := c.cur.CodeBase + c.pcOff
 			if !c.icache.Lookup(pc) {
 				c.fillDone = false
-				c.imem.RequestFill(c.ID, func() { c.fillDone = true })
+				c.imem.RequestFill(c.ID, c.onFill)
 				c.state = stWaitFill
 				c.Stats.IMissStalls++
 				return
@@ -383,23 +507,11 @@ func (c *Core) execute() {
 		c.countMem()
 		c.memDone = false
 		c.firstWait = true
-		kind, addr, done := op.Kind, op.Addr, op.OnComplete
-		c.xbar.Submit(c.port, c.sp.Bank(addr), kind == OpRMW, func(uint64) {
-			if kind == OpLoad {
-				c.sp.Read32(addr)
-			} else {
-				// One atomic transaction; the functional flag update is
-				// carried by OnComplete against quiet bit-array state.
-				c.sp.Read32(addr)
-			}
-			if c.TraceMem != nil {
-				c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: kind == OpRMW})
-			}
-			if done != nil {
-				done()
-			}
-			c.memDone = true
-		})
+		if op.Kind == OpLoad {
+			c.submit(cbLoad, op.Addr, false, op.OnComplete)
+		} else {
+			c.submit(cbRMW, op.Addr, true, op.OnComplete)
+		}
 		c.state = stWaitMem
 
 	case OpStore:
@@ -410,19 +522,7 @@ func (c *Core) execute() {
 		c.retire()
 		c.Stats.Stores++
 		c.countMem()
-		addr, done := op.Addr, op.OnComplete
-		c.xbar.Submit(c.port, c.sp.Bank(addr), true, func(uint64) {
-			// The store's functional payload (if any) is carried by
-			// OnComplete; the word itself is not clobbered, since status
-			// flags share words with generic store traffic.
-			c.sp.CountWrite(addr)
-			if c.TraceMem != nil {
-				c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: true})
-			}
-			if done != nil {
-				done()
-			}
-		})
+		c.submit(cbStore, op.Addr, true, op.OnComplete)
 		// Buffered: the core does not wait for the store.
 		c.finishOp(op)
 
@@ -441,14 +541,7 @@ func (c *Core) execute() {
 		c.countMem()
 		c.memDone = false
 		c.firstWait = true
-		addr := op.Addr
-		c.xbar.Submit(c.port, c.sp.Bank(addr), false, func(uint64) {
-			c.lockVal = c.sp.Read32(addr)
-			if c.TraceMem != nil {
-				c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: false})
-			}
-			c.memDone = true
-		})
+		c.submit(cbLL, op.Addr, false, nil)
 		c.lockPhase = lkLL
 		c.state = stWaitMem
 
@@ -460,16 +553,7 @@ func (c *Core) execute() {
 		c.retire()
 		c.Stats.Stores++
 		c.countMem()
-		addr, done := op.Addr, op.OnComplete
-		c.xbar.Submit(c.port, c.sp.Bank(addr), true, func(uint64) {
-			c.sp.Write32(addr, 0)
-			if c.TraceMem != nil {
-				c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: true})
-			}
-			if done != nil {
-				done()
-			}
-		})
+		c.submit(cbUnlock, op.Addr, true, op.OnComplete)
 		c.finishOp(op)
 	}
 }
@@ -482,21 +566,7 @@ func (c *Core) issueSC(op *Op) {
 	c.countMem()
 	c.memDone = false
 	c.firstWait = true
-	addr := op.Addr
-	c.xbar.Submit(c.port, c.sp.Bank(addr), true, func(uint64) {
-		// Atomic at completion: the crossbar delivers one transaction per
-		// bank per cycle, so concurrent sc's serialize here.
-		if c.sp.Read32(addr) == 0 {
-			c.sp.Write32(addr, 1)
-			c.lockVal = 1 // success
-		} else {
-			c.lockVal = 0 // failure
-		}
-		if c.TraceMem != nil {
-			c.TraceMem(trace.MemRef{Proc: c.ID, Addr: addr, Write: true})
-		}
-		c.memDone = true
-	})
+	c.submit(cbSC, op.Addr, true, nil)
 	c.state = stWaitMem
 }
 

@@ -104,11 +104,11 @@ func Simulate(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
-		r, err := simulate(ctx, cfg, j.Spec.UDPSize, b, j.Spec.Faults)
+		r, costs, err := simulate(ctx, cfg, j.Spec.UDPSize, b, j.Spec.Faults)
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
-		return sweep.Outcome{Report: &r}, nil
+		return sweep.Outcome{Report: &r, TickCosts: costs}, nil
 	case sweep.KindFig3:
 		pts, r, err := figure3Collect(ctx, b, j.Spec.MaxRefs)
 		if err != nil {
@@ -124,22 +124,34 @@ func Simulate(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
 	}
 }
 
+// TickProfile, when set before a sweep starts, enables per-domain tick-cost
+// collection on every simulated job; the breakdown lands in each result's
+// tick_costs. Diagnostic only — the reports themselves are unchanged.
+var TickProfile bool
+
 // simulate runs one configuration with cooperative cancellation, attaching
 // the fault plan (if any) before the run starts.
-func simulate(ctx context.Context, cfg core.Config, udpSize int, b Budget, plan *faults.Plan) (core.Report, error) {
+func simulate(ctx context.Context, cfg core.Config, udpSize int, b Budget, plan *faults.Plan) (core.Report, []sim.DomainCost, error) {
 	n := core.New(cfg)
 	n.AttachWorkload(udpSize, false)
 	if plan != nil {
 		if err := n.AttachFaults(*plan); err != nil {
-			return core.Report{}, err
+			return core.Report{}, nil, err
 		}
+	}
+	if TickProfile {
+		n.Engine.ProfileTicks(true)
 	}
 	defer watchdog(ctx, n.Engine)()
 	r := n.Run(b.Warmup, b.Measure)
 	if ctx != nil && ctx.Err() != nil {
-		return core.Report{}, ctx.Err()
+		return core.Report{}, nil, ctx.Err()
 	}
-	return r, nil
+	var costs []sim.DomainCost
+	if TickProfile {
+		costs = n.Engine.TickCosts()
+	}
+	return r, costs, nil
 }
 
 // watchdog stops the engine when ctx is canceled; the returned release

@@ -15,6 +15,8 @@ package firmware
 
 import (
 	"math/rand"
+	"slices"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/fwkernels"
@@ -280,13 +282,120 @@ func DefaultProfile(ord Ordering) Profile {
 // streamBuilder assembles op streams with evenly interleaved memory
 // operations and deterministic pseudo-random addresses within a region.
 type streamBuilder struct {
-	ops []cpu.Op
-	rng *rand.Rand
-	hf  float64
+	ops  []cpu.Op
+	seed int64
+	hf   float64
+	draw int          // hazard draws consumed so far
+	ent  *hazardEntry // cached draw bits (nil until first draw)
+	rng  *rand.Rand   // live fallback when the cache is saturated
 }
 
 func newBuilder(seed int64, hazardFrac float64) *streamBuilder {
-	return &streamBuilder{rng: rand.New(rand.NewSource(seed)), hf: hazardFrac}
+	return &streamBuilder{seed: seed, hf: hazardFrac}
+}
+
+// hazard returns the next deterministic hazard draw: exactly the value
+// rand.New(rand.NewSource(seed)).Float64() < hf would yield for this draw
+// index. Streams are seeded from an incrementing counter, so the same seeds
+// recur in every simulation a process runs (benchmark iterations, suite
+// sweeps); seeding Go's generator costs ~2000 multiplies, which was one of
+// the hottest paths in the profile, so the draw sequence is memoized
+// process-wide per (seed, fraction) and replayed as a bitset.
+func (b *streamBuilder) hazard() bool {
+	i := b.draw
+	b.draw++
+	if b.rng != nil {
+		return b.rng.Float64() < b.hf
+	}
+	if b.ent == nil || i >= b.ent.n {
+		b.ent = hazardSeq(b.seed, b.hf, i+1)
+		if b.ent == nil {
+			// Cache saturated: replay this stream's draws live. The first i
+			// draws were already consumed from the cache, so skip them.
+			b.rng = rand.New(rand.NewSource(b.seed))
+			for j := 0; j < i; j++ {
+				b.rng.Float64()
+			}
+			return b.rng.Float64() < b.hf
+		}
+	}
+	return b.ent.bits[i>>6]>>(uint(i)&63)&1 != 0
+}
+
+// hazardKey identifies one memoized draw sequence.
+type hazardKey struct {
+	seed int64
+	hf   float64
+}
+
+// hazardEntry is an immutable prefix of a draw sequence. Extension swaps in
+// a fresh entry under the cache lock, so readers never see mutation.
+type hazardEntry struct {
+	bits []uint64
+	n    int
+}
+
+var (
+	hazardMu    sync.RWMutex
+	hazardCache = map[hazardKey]*hazardEntry{}
+)
+
+const (
+	// hazardChunk is the draw-count granularity of cached entries; most
+	// streams draw far fewer (a poll pass draws ~9).
+	hazardChunk = 128
+	// hazardCacheMax bounds the cache; beyond it new seeds use the live
+	// fallback. 1<<20 entries ≈ tens of MB, far above any suite's seed count.
+	hazardCacheMax = 1 << 20
+)
+
+// hazardSeq returns a cached entry holding at least need draws for the given
+// seed and fraction, generating or extending it if required, or nil when the
+// cache is full.
+func hazardSeq(seed int64, hf float64, need int) *hazardEntry {
+	k := hazardKey{seed, hf}
+	hazardMu.RLock()
+	e := hazardCache[k]
+	hazardMu.RUnlock()
+	if e != nil && e.n >= need {
+		return e
+	}
+	hazardMu.Lock()
+	defer hazardMu.Unlock()
+	e = hazardCache[k]
+	if e != nil && e.n >= need {
+		return e
+	}
+	if e == nil && len(hazardCache) >= hazardCacheMax {
+		return nil
+	}
+	have := 0
+	if e != nil {
+		have = e.n
+	}
+	target := have * 2
+	if target < need {
+		target = need
+	}
+	target = (target + hazardChunk - 1) / hazardChunk * hazardChunk
+	// Regenerate from the seed, skipping the draws already cached; seeding
+	// dominates the cost and happens at most a few times per seed ever.
+	rng := rand.New(rand.NewSource(seed))
+	for j := 0; j < have; j++ {
+		rng.Float64()
+	}
+	bits := make([]uint64, (target+63)/64)
+	if e != nil {
+		copy(bits, e.bits)
+	}
+	for j := have; j < target; j++ {
+		if rng.Float64() < hf {
+			bits[j>>6] |= 1 << (uint(j) & 63)
+		}
+	}
+	ne := &hazardEntry{bits: bits, n: target}
+	hazardCache[k] = ne
+	return ne
 }
 
 // cost appends a TaskCost worth of work: c.Instr instructions with the
@@ -298,6 +407,7 @@ func (b *streamBuilder) cost(c TaskCost, addrFn func(i int) uint32) {
 	if total < mem {
 		total = mem
 	}
+	b.ops = slices.Grow(b.ops, total)
 	memDone := 0
 	loadsLeft, storesLeft := c.Loads, c.Stores
 	loadAcc := 0
@@ -317,7 +427,7 @@ func (b *streamBuilder) cost(c TaskCost, addrFn func(i int) uint32) {
 			continue
 		}
 		op := cpu.Op{Kind: cpu.OpALU}
-		if b.rng.Float64() < b.hf {
+		if b.hazard() {
 			op.Hazard = 1
 		}
 		b.ops = append(b.ops, op)
@@ -344,6 +454,7 @@ func (b *streamBuilder) cost2(c TaskCost, loadFn, storeFn func(i int) uint32) {
 
 // alu appends n plain ALU ops.
 func (b *streamBuilder) alu(n int) {
+	b.ops = slices.Grow(b.ops, n)
 	for i := 0; i < n; i++ {
 		b.ops = append(b.ops, cpu.Op{Kind: cpu.OpALU})
 	}

@@ -88,9 +88,12 @@ type Host struct {
 
 	Source SendSource
 
-	// delayed DMA completions, a time-ordered queue.
+	// Delayed DMA completions. Every Delay uses the same fixed latency, so
+	// the queue is inherently time-ordered: it is a FIFO ring with a head
+	// index, popped from the front — not rescanned — each tick.
 	now     uint64
 	pending []delayed
+	head    int
 
 	// Send side.
 	sendBDs       []SendBD // posted, not yet taken by the NIC
@@ -172,18 +175,44 @@ func (h *Host) Delay(f func()) {
 // driver.
 func (h *Host) Tick(cycle uint64) {
 	h.now++
-	// Fire due completions preserving enqueue order.
-	kept := h.pending[:0]
-	for _, d := range h.pending {
-		if d.at <= h.now {
-			d.f()
-		} else {
-			kept = append(kept, d)
-		}
+	// Fire due completions in enqueue order. Delay's latency is constant, so
+	// entries are due in FIFO order; callbacks may Delay again, and those
+	// entries land at the tail with a strictly later due time.
+	for h.head < len(h.pending) && h.pending[h.head].at <= h.now {
+		f := h.pending[h.head].f
+		h.pending[h.head] = delayed{} // release the closure
+		h.head++
+		f()
 	}
-	h.pending = kept
+	if h.head == len(h.pending) {
+		h.pending = h.pending[:0]
+		h.head = 0
+	} else if h.head >= 512 {
+		n := copy(h.pending, h.pending[h.head:])
+		clearTail := h.pending[n:]
+		for i := range clearTail {
+			clearTail[i] = delayed{}
+		}
+		h.pending = h.pending[:n]
+		h.head = 0
+	}
 	h.driver()
 }
+
+// Quiescent reports that a Tick would do nothing but advance the clock: no
+// DMA completion pending, the driver not starved, no send descriptor work
+// possible, and both rings fully posted and announced.
+func (h *Host) Quiescent() bool {
+	return !h.starved &&
+		h.head == len(h.pending) &&
+		(h.Source == nil || h.inFlight >= h.cfg.SendRing) &&
+		h.sendVisible == len(h.sendBDs) &&
+		h.recvPosted == h.cfg.RecvRing &&
+		h.recvVisible >= h.recvPosted
+}
+
+// SkipIdle advances the host clock across fast-forwarded idle cycles.
+func (h *Host) SkipIdle(cycles uint64) { h.now += cycles }
 
 // driver posts send descriptors while ring space allows and replenishes the
 // receive pool, writing the mailbox for each batch.

@@ -137,6 +137,11 @@ func Analyze(tr []trace.Inst, cfg Config) Result {
 	var lastIssue uint64 // most recent issue cycle (in-order constraint)
 	var branchGate uint64
 	var maxCycle uint64
+	width := uint8(cfg.Width)
+	// Every cycle below minFree is width-saturated; starting the issue scan
+	// there skips the full prefix that out-of-order narrow-width configs
+	// otherwise re-scan for every instruction.
+	var minFree uint64
 
 	// Finite-window tracking: ring of recent issue times.
 	var issued []uint64
@@ -164,8 +169,14 @@ func Analyze(tr []trace.Inst, cfg Config) Result {
 		}
 		isMem := in.Kind == trace.Load || in.Kind == trace.Store || in.Kind == trace.RMW
 		isBranch := in.Kind == trace.Branch
+		if t < minFree {
+			t = minFree
+		}
 		for {
-			if widthUsed[t] >= uint8(cfg.Width) {
+			if widthUsed[t] >= width {
+				if t == minFree {
+					minFree = t + 1
+				}
 				t++
 				continue
 			}

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/stats"
 )
@@ -9,17 +10,32 @@ import (
 // ICache models one core's private instruction cache: 8 KB, 2-way set
 // associative, 32-byte lines, LRU replacement in the paper's configuration.
 // Instructions are read-only and single-writer, so no coherence is needed.
+//
+// Tag and valid state are packed into one word per line (tag | icValid),
+// stored in a flat array indexed set*ways+way, so a probe is a single
+// comparison per way; the power-of-two geometries every studied configuration
+// uses resolve the set index with shifts and masks. The cache is probed on
+// every instruction of every core, so the divisions, nested slices, and
+// separate valid-bit loads all showed up in profiles.
 type ICache struct {
 	lineBytes int
 	sets      int
 	ways      int
-	tags      [][]uint32
-	valid     [][]bool
-	lruWay    []int // for 2-way: the way to evict next
+	lines     []uint64 // sets*ways, flattened; uint64(tag)|icValid, 0 = invalid
+	lruWay    []int    // for 2-way: the way to evict next
+
+	pow2      bool
+	lineShift uint
+	setShift  uint
+	setMask   uint32
 
 	Hits   stats.Counter
 	Misses stats.Counter
 }
+
+// icValid marks a packed cache line valid; it sits above any 32-bit tag, so a
+// zero entry can never match a lookup.
+const icValid = uint64(1) << 32
 
 // NewICache creates an instruction cache of the given total size, ways, and
 // line size in bytes.
@@ -32,13 +48,14 @@ func NewICache(size, ways, lineBytes int) *ICache {
 		lineBytes: lineBytes,
 		sets:      sets,
 		ways:      ways,
-		tags:      make([][]uint32, sets),
-		valid:     make([][]bool, sets),
+		lines:     make([]uint64, sets*ways),
 		lruWay:    make([]int, sets),
 	}
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint32, ways)
-		c.valid[i] = make([]bool, ways)
+	if lineBytes&(lineBytes-1) == 0 && sets&(sets-1) == 0 {
+		c.pow2 = true
+		c.lineShift = uint(bits.TrailingZeros(uint(lineBytes)))
+		c.setShift = uint(bits.TrailingZeros(uint(sets)))
+		c.setMask = uint32(sets - 1)
 	}
 	return c
 }
@@ -47,8 +64,25 @@ func NewICache(size, ways, lineBytes int) *ICache {
 // hit. It does not fill on a miss; call Fill once the line arrives.
 func (c *ICache) Lookup(pc uint32) bool {
 	set, tag := c.index(pc)
+	want := uint64(tag) | icValid
+	if c.ways == 2 {
+		base := set * 2
+		if c.lines[base] == want {
+			c.Hits.Inc()
+			c.lruWay[set] = 1
+			return true
+		}
+		if c.lines[base+1] == want {
+			c.Hits.Inc()
+			c.lruWay[set] = 0
+			return true
+		}
+		c.Misses.Inc()
+		return false
+	}
+	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
+		if c.lines[base+w] == want {
 			c.Hits.Inc()
 			c.touch(set, w)
 			return true
@@ -61,16 +95,16 @@ func (c *ICache) Lookup(pc uint32) bool {
 // Fill installs the line holding pc, evicting the LRU way.
 func (c *ICache) Fill(pc uint32) {
 	set, tag := c.index(pc)
+	base := set * c.ways
 	w := c.lruWay[set]
 	// Prefer an invalid way over evicting.
 	for i := 0; i < c.ways; i++ {
-		if !c.valid[set][i] {
+		if c.lines[base+i]&icValid == 0 {
 			w = i
 			break
 		}
 	}
-	c.tags[set][w] = tag
-	c.valid[set][w] = true
+	c.lines[base+w] = uint64(tag) | icValid
 	c.touch(set, w)
 }
 
@@ -84,6 +118,10 @@ func (c *ICache) HitRatio() float64 {
 }
 
 func (c *ICache) index(pc uint32) (set int, tag uint32) {
+	if c.pow2 {
+		line := pc >> c.lineShift
+		return int(line & c.setMask), line >> c.setShift
+	}
 	line := pc / uint32(c.lineBytes)
 	return int(line) % c.sets, line / uint32(c.sets)
 }
@@ -108,7 +146,10 @@ type InstrMemory struct {
 	accessCy int
 	lineCy   int
 
+	// pending is a head-indexed FIFO: popping advances phead so the backing
+	// array is reused instead of reallocated.
 	pending  []fillReq
+	phead    int
 	busy     int // cycles remaining on current fill
 	current  fillReq
 	hasCur   bool
@@ -141,9 +182,13 @@ func (m *InstrMemory) RequestFill(core int, onDone func()) {
 // Tick advances the instruction memory port one CPU cycle.
 func (m *InstrMemory) Tick(cycle uint64) {
 	m.PortBusy.Total.Inc()
-	if !m.hasCur && len(m.pending) > 0 {
-		m.current = m.pending[0]
-		m.pending = m.pending[1:]
+	if !m.hasCur && m.phead < len(m.pending) {
+		m.current = m.pending[m.phead]
+		m.pending[m.phead] = fillReq{}
+		m.phead++
+		if m.phead == len(m.pending) {
+			m.pending, m.phead = m.pending[:0], 0
+		}
 		m.hasCur = true
 		m.busy = m.accessCy + m.lineCy
 	}
@@ -165,3 +210,10 @@ func (m *InstrMemory) Tick(cycle uint64) {
 		}
 	}
 }
+
+// Quiescent reports that no fill is in progress or pending.
+func (m *InstrMemory) Quiescent() bool { return !m.hasCur && m.phead == len(m.pending) }
+
+// SkipIdle accounts the port-utilization denominator for cycles the engine
+// fast-forwarded across, matching what idle Ticks would have recorded.
+func (m *InstrMemory) SkipIdle(cycles uint64) { m.PortBusy.Total.Add(cycles) }

@@ -28,8 +28,12 @@ type SDRAM struct {
 	openRow    []int64
 	activateCy int
 
+	// queues are head-indexed FIFOs: popping advances qhead so the backing
+	// arrays are reused instead of reallocated every few bursts.
 	queues  [][]Transfer
-	current *Transfer
+	qhead   []int
+	current Transfer
+	active  bool
 	// remaining cycles in the current burst, including activation overhead
 	remaining int
 	rr        int
@@ -83,6 +87,7 @@ func NewSDRAM(cfg SDRAMConfig) *SDRAM {
 		openRow:    make([]int64, cfg.Banks),
 		activateCy: cfg.ActivateCy,
 		queues:     make([][]Transfer, cfg.Ports),
+		qhead:      make([]int, cfg.Ports),
 		Latency:    stats.NewHistogram(4, 8, 16, 27, 64, 128, 256),
 	}
 	for i := range s.openRow {
@@ -99,7 +104,7 @@ func (s *SDRAM) Enqueue(port int, t Transfer) {
 
 // QueueLen returns the number of transfers waiting (plus in progress) for a
 // port.
-func (s *SDRAM) QueueLen(port int) int { return len(s.queues[port]) }
+func (s *SDRAM) QueueLen(port int) int { return len(s.queues[port]) - s.qhead[port] }
 
 // alignedLen returns the burst length after rounding the start down and the
 // end up to 8-byte boundaries.
@@ -113,17 +118,17 @@ func alignedLen(addr uint32, n int) int {
 func (s *SDRAM) Tick(cycle uint64) {
 	s.now = cycle
 	s.Busy.Total.Inc()
-	if s.current == nil {
+	if !s.active {
 		s.start(cycle)
 	}
-	if s.current == nil {
+	if !s.active {
 		return
 	}
 	s.Busy.Busy.Inc()
 	s.remaining--
 	if s.remaining == 0 {
 		t := s.current
-		s.current = nil
+		s.current, s.active = Transfer{}, false
 		s.Latency.Observe(cycle + 1 - t.queuedAt)
 		if t.OnDone != nil {
 			t.OnDone()
@@ -138,11 +143,15 @@ func (s *SDRAM) Tick(cycle uint64) {
 func (s *SDRAM) start(cycle uint64) {
 	for i := 1; i <= len(s.queues); i++ {
 		p := (s.rr + i) % len(s.queues)
-		if len(s.queues[p]) == 0 {
+		if s.qhead[p] == len(s.queues[p]) {
 			continue
 		}
-		t := s.queues[p][0]
-		s.queues[p] = s.queues[p][1:]
+		t := s.queues[p][s.qhead[p]]
+		s.queues[p][s.qhead[p]] = Transfer{}
+		s.qhead[p]++
+		if s.qhead[p] == len(s.queues[p]) {
+			s.queues[p], s.qhead[p] = s.queues[p][:0], 0
+		}
 		s.rr = p
 
 		al := alignedLen(t.Addr, t.Len)
@@ -162,11 +171,31 @@ func (s *SDRAM) start(cycle uint64) {
 		s.ConsumedBytes.Add(uint64(al))
 		s.WastedBytes.Add(uint64(al - t.Len))
 		s.remaining = overhead + dataCycles
-		cur := t
-		s.current = &cur
+		s.current, s.active = t, true
 		return
 	}
 }
 
 // PeakGbps returns the peak bandwidth at the given SDRAM frequency in MHz.
 func PeakGbps(mhz float64) float64 { return mhz * 1e6 * 16 * 8 / 1e9 }
+
+// Quiescent reports that no burst is active and every port queue is empty.
+func (s *SDRAM) Quiescent() bool {
+	if s.active {
+		return false
+	}
+	for p, q := range s.queues {
+		if s.qhead[p] != len(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// SkipIdle replays the bookkeeping of idle cycles the engine fast-forwarded
+// across: the utilization denominator grows and the controller's notion of
+// "now" keeps pace so later queuedAt stamps match a fully ticked run.
+func (s *SDRAM) SkipIdle(cycles uint64) {
+	s.now += cycles
+	s.Busy.Total.Add(cycles)
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// traceRecorder logs every tick as "name:cycle@now" so two engine
+// configurations can be compared edge for edge.
+type traceRecorder struct {
+	e   *Engine
+	log *[]string
+}
+
+func record(e *Engine, log *[]string, d *Domain) {
+	name := d.Name()
+	d.Add(TickFunc(func(cycle uint64) {
+		*log = append(*log, fmt.Sprintf("%s:%d@%d", name, cycle, e.now))
+	}))
+}
+
+// nicDomains builds the controller's four clock domains plus an event domain,
+// with tickers recording into log. The host period (7519 ps) is incommensurate
+// with the others, so the static schedule covers only the cpu/sdram/mac prefix
+// and the host is merged as an extra — exactly the production shape.
+func nicDomains(log *[]string) (*Engine, *Domain) {
+	cpu := NewDomain("cpu", 200e6)
+	sdram := NewDomain("sdram", 500e6)
+	mac := NewDomain("mac", 156.25e6)
+	host := NewDomain("host", 133e6)
+	ev := NewEventDomain("ev")
+	e := NewEngine(cpu, sdram, mac, host, ev)
+	for _, d := range []*Domain{cpu, sdram, mac, host} {
+		record(e, log, d)
+	}
+	return e, ev
+}
+
+func TestStaticScheduleMatchesGenericPath(t *testing.T) {
+	var fast, slow []string
+	ef, evf := nicDomains(&fast)
+	es, evs := nicDomains(&slow)
+	es.SetStaticSchedule(false)
+	// Events landing mid-pattern force the fast path to bail for that step.
+	for _, ev := range []*Domain{evf, evs} {
+		ev.Schedule(12345, func() {})
+		ev.Schedule(100000, func() {})
+	}
+	ef.RunFor(3 * Microsecond)
+	es.RunFor(3 * Microsecond)
+	if len(fast) == 0 {
+		t.Fatal("no ticks recorded")
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("tick counts differ: static %d, generic %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("tick %d differs: static %q, generic %q", i, fast[i], slow[i])
+		}
+	}
+	if ef.Now() != es.Now() || ef.Steps() != es.Steps() {
+		t.Errorf("now/steps differ: static (%d,%d), generic (%d,%d)",
+			ef.Now(), ef.Steps(), es.Now(), es.Steps())
+	}
+}
+
+func TestStaticSchedulePrefixExcludesIncommensurateDomain(t *testing.T) {
+	var log []string
+	e, _ := nicDomains(&log)
+	e.RunFor(Microsecond)
+	if e.sched == nil {
+		t.Fatal("static schedule not built")
+	}
+	if e.schedN != 3 {
+		t.Errorf("schedN = %d, want 3 (cpu+sdram+mac prefix; host excluded)", e.schedN)
+	}
+	// The merged hyperperiod of 5000/2000/6400 ps.
+	if e.hyper != 160000 {
+		t.Errorf("hyper = %d, want 160000", e.hyper)
+	}
+}
+
+func TestStaticScheduleSharedInstantTicksExtrasAfterMembers(t *testing.T) {
+	// Members a (5 ps) and b (10 ps) merge into a 10 ps hyperperiod. The
+	// third domain's 49999 ps period is coprime with 10, so including it
+	// would need a 499990 ps table (~150k edges > maxSchedEntries): it stays
+	// outside the prefix as an extra. All three share an edge at
+	// t = 10*49999 = 499990, where registration order demands a, b, then c.
+	a := NewDomain("a", 2e11)         // 5 ps
+	b := NewDomain("b", 1e11)         // 10 ps
+	c := NewDomain("c", 1e12/49999.0) // 49999 ps
+	if c.Period() != 49999 {
+		t.Fatalf("c period = %d, want 49999", c.Period())
+	}
+	var log []string
+	e := NewEngine(a, b, c)
+	for _, d := range []*Domain{a, b, c} {
+		record(e, &log, d)
+	}
+	e.RunFor(600000)
+	if e.sched == nil || e.schedN != 2 {
+		t.Fatalf("want 2-member schedule, got sched=%v schedN=%d", e.sched != nil, e.schedN)
+	}
+	var shared []string
+	for _, s := range log {
+		if len(s) > 7 && s[len(s)-7:] == "@499990" {
+			shared = append(shared, s[:1])
+		}
+	}
+	if len(shared) != 3 || shared[0] != "a" || shared[1] != "b" || shared[2] != "c" {
+		t.Errorf("tick order at t=499990 = %v, want [a b c]", shared)
+	}
+}
+
+func TestEventHeapSameInstantFiresInScheduleOrder(t *testing.T) {
+	ev := NewEventDomain("ev")
+	clk := NewDomain("clk", 1e9)
+	clk.Add(TickFunc(func(uint64) {}))
+	e := NewEngine(clk, ev)
+	var got []int
+	// Schedule out of time order, with ties: the heap must fire time-ordered,
+	// and same-instant events in schedule (seq) order.
+	ev.Schedule(5000, func() { got = append(got, 2) })
+	ev.Schedule(3000, func() { got = append(got, 0) })
+	ev.Schedule(5000, func() { got = append(got, 3) })
+	ev.Schedule(3000, func() { got = append(got, 1) })
+	ev.Schedule(5000, func() { got = append(got, 4) })
+	e.RunFor(10 * Nanosecond)
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("fire order %v, want [0 1 2 3 4]", got)
+		}
+	}
+}
+
+func TestEventHeapInterleavedScheduleAndFire(t *testing.T) {
+	// Stress the heap with a pattern that forces sift-up and sift-down:
+	// each fired event schedules two more until a budget runs out, with
+	// deliberately colliding instants.
+	ev := NewEventDomain("ev")
+	clk := NewDomain("clk", 1e9)
+	clk.Add(TickFunc(func(uint64) {}))
+	e := NewEngine(clk, ev)
+	var fired []Picoseconds
+	budget := 50
+	var spawn func(at Picoseconds)
+	spawn = func(at Picoseconds) {
+		ev.Schedule(at, func() {
+			fired = append(fired, e.Now())
+			if budget > 0 {
+				budget--
+				spawn(at + 1500)
+				spawn(at + 1500) // same instant: seq order
+			}
+		})
+	}
+	spawn(1000)
+	spawn(2500)
+	e.RunFor(Microsecond)
+	if len(fired) < 50 {
+		t.Fatalf("fired %d events, want >= 50", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("event fired out of time order at %d: %d after %d", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+func TestRunForDeadlineOverflowClamps(t *testing.T) {
+	d := NewDomain("clk", 1e9) // 1000 ps
+	ticks := 0
+	d.Add(TickFunc(func(uint64) {
+		ticks++
+		if ticks >= 10 {
+			// Without the clamp, now+dur wraps past zero and the loop exits
+			// immediately with no ticks at all; with it the run proceeds until
+			// Stop.
+			d.eng.Stop()
+		}
+	}))
+	e := NewEngine(d)
+	e.RunFor(5 * Nanosecond) // advance now so the overflow is strict
+	before := ticks
+	e.RunFor(^Picoseconds(0)) // e.now + dur overflows
+	if ticks <= before {
+		t.Fatalf("RunFor with overflowing duration ran no steps (ticks %d -> %d)", before, ticks)
+	}
+}
+
+func TestRunUntilDeadlineOverflowClamps(t *testing.T) {
+	d := NewDomain("clk", 1e9)
+	ticks := 0
+	d.Add(TickFunc(func(uint64) { ticks++ }))
+	e := NewEngine(d)
+	e.RunFor(5 * Nanosecond)
+	before := ticks
+	ok := e.RunUntil(^Picoseconds(0), func() bool { return ticks >= before+10 })
+	if !ok || ticks != before+10 {
+		t.Fatalf("RunUntil with overflowing limit: ok=%v ticks %d -> %d, want %d",
+			ok, before, ticks, before+10)
+	}
+}
+
+// idleTicker implements Quiescer/IdleSkipper: busy for the first busyFor
+// cycles, then quiescent, counting cycles both ways.
+type idleTicker struct {
+	busyFor uint64
+	cycles  uint64
+}
+
+func (i *idleTicker) Tick(uint64)            { i.cycles++ }
+func (i *idleTicker) Quiescent() bool        { return i.cycles >= i.busyFor }
+func (i *idleTicker) SkipIdle(cycles uint64) { i.cycles += cycles }
+
+func TestIdleSkipMatchesTickedRun(t *testing.T) {
+	run := func(skip bool) (uint64, Picoseconds, uint64) {
+		d := NewDomain("clk", 200e6)
+		it := &idleTicker{busyFor: 100}
+		if !skip {
+			// Registering a bare Ticker disables idle-skip for the domain.
+			d.Add(TickFunc(func(uint64) {}))
+		}
+		d.Add(it)
+		e := NewEngine(d)
+		e.RunFor(10*Microsecond + 1) // deadline off any edge: overshoot lands past it
+		return it.cycles, e.Now(), d.Cycles()
+	}
+	tc, tn, tcy := run(false)
+	sc, sn, scy := run(true)
+	if tc != sc || tn != sn || tcy != scy {
+		t.Errorf("skip run (cycles=%d now=%d domain=%d) != ticked run (cycles=%d now=%d domain=%d)",
+			sc, sn, scy, tc, tn, tcy)
+	}
+	if sn <= 10*Microsecond {
+		t.Errorf("now = %d, want overshoot past the deadline", sn)
+	}
+}
+
+func TestIdleSkipWakesForScheduledEvent(t *testing.T) {
+	d := NewDomain("clk", 200e6)
+	it := &idleTicker{busyFor: 0} // quiescent from the start
+	d.Add(it)
+	ev := NewEventDomain("ev")
+	e := NewEngine(d, ev)
+	fired := Picoseconds(0)
+	ev.Schedule(5*Microsecond+123, func() { fired = e.Now() })
+	e.RunFor(10 * Microsecond)
+	if fired == 0 {
+		t.Fatal("event never fired across an idle-skip window")
+	}
+	if fired != 5*Microsecond+123 {
+		t.Errorf("event fired at %d, want %d", fired, 5*Microsecond+123)
+	}
+	if it.cycles != d.Cycles() {
+		t.Errorf("skip bookkeeping lost cycles: ticker %d, domain %d", it.cycles, d.Cycles())
+	}
+}
+
+func BenchmarkStepStatic(b *testing.B) {
+	var log []string
+	_ = log
+	cpu := NewDomain("cpu", 200e6)
+	sdram := NewDomain("sdram", 500e6)
+	mac := NewDomain("mac", 156.25e6)
+	host := NewDomain("host", 133e6)
+	for _, d := range []*Domain{cpu, sdram, mac, host} {
+		d.Add(TickFunc(func(uint64) {}))
+	}
+	e := NewEngine(cpu, sdram, mac, host)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkStepGeneric(b *testing.B) {
+	cpu := NewDomain("cpu", 200e6)
+	sdram := NewDomain("sdram", 500e6)
+	mac := NewDomain("mac", 156.25e6)
+	host := NewDomain("host", 133e6)
+	for _, d := range []*Domain{cpu, sdram, mac, host} {
+		d.Add(TickFunc(func(uint64) {}))
+	}
+	e := NewEngine(cpu, sdram, mac, host)
+	e.SetStaticSchedule(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

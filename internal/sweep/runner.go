@@ -184,6 +184,6 @@ func (r *Runner) runOne(ctx context.Context, job Job) (res Result) {
 		res.Err = err.Error()
 		return res
 	}
-	res.Report, res.Aux = out.Report, out.Aux
+	res.Report, res.Aux, res.TickCosts = out.Report, out.Aux, out.TickCosts
 	return res
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/sim"
 )
 
 // Spec kinds. KindNIC is a full-controller simulation yielding a
@@ -92,10 +93,12 @@ type Job struct {
 
 // Outcome is what a RunFunc produces for one job: a report for KindNIC
 // jobs, and optional kind-specific auxiliary data (e.g. the Figure 3 cache
-// sweep points) as raw JSON.
+// sweep points) as raw JSON. TickCosts carries the per-domain tick-cost
+// breakdown when the run was executed with tick profiling enabled.
 type Outcome struct {
-	Report *core.Report
-	Aux    json.RawMessage
+	Report    *core.Report
+	Aux       json.RawMessage
+	TickCosts []sim.DomainCost
 }
 
 // Result is one finished job: the outcome plus identity and provenance.
@@ -106,6 +109,7 @@ type Result struct {
 	Spec       Spec            `json:"spec"`
 	Report     *core.Report    `json:"report,omitempty"`
 	Aux        json.RawMessage `json:"aux,omitempty"`
+	TickCosts  []sim.DomainCost `json:"tick_costs,omitempty"`
 	Err        string          `json:"err,omitempty"`
 	ElapsedSec float64         `json:"elapsed_sec"`
 
@@ -117,12 +121,13 @@ type Result struct {
 // OK reports whether the job completed successfully.
 func (r Result) OK() bool { return r.Err == "" }
 
-// Canonical returns a copy with provenance fields (elapsed wall time,
-// cache flag) zeroed, so results from different executions of the same
-// jobs — serial vs parallel, fresh vs resumed — compare byte-identical
+// Canonical returns a copy with provenance fields (elapsed wall time, tick
+// costs, cache flag) zeroed, so results from different executions of the
+// same jobs — serial vs parallel, fresh vs resumed — compare byte-identical
 // under json.Marshal.
 func (r Result) Canonical() Result {
 	r.ElapsedSec = 0
+	r.TickCosts = nil
 	r.Cached = false
 	return r
 }
