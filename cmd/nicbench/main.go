@@ -70,6 +70,7 @@ func run() int {
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		times      = flag.Bool("times", false, "print a per-job simulated-time/wall-time summary")
 		tickProf   = flag.Bool("tickprof", false, "collect per-domain tick costs (tick_costs in -json results)")
+		latency    = flag.Bool("latency", false, "observe frame lifecycles (latency section in reports; incompatible with -check/-update-baseline)")
 
 		ssCheck  = flag.Bool("simspeed-check", false, "measure simulation speed and compare against -simspeed-file; non-zero exit on regression")
 		ssUpdate = flag.Bool("simspeed-update", false, "measure simulation speed and rewrite -simspeed-file")
@@ -115,6 +116,15 @@ func run() int {
 		}()
 	}
 	experiments.TickProfile = *tickProf
+	if *latency {
+		if *check || *update {
+			// Observation adds a latency section to every report, which would
+			// perturb the byte-exact baseline comparison.
+			fmt.Fprintln(os.Stderr, "nicbench: -latency cannot be combined with -check or -update-baseline")
+			return 2
+		}
+		experiments.Observe = true
+	}
 
 	if *ssCheck || *ssUpdate {
 		return runSimSpeed(*ssFile, *ssCheck, *ssUpdate, *quick)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/firmware"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,9 @@ func main() {
 	payload := flag.Bool("payload", false, "carry and verify real frame bytes")
 	faultFlag := flag.String("faults", "", `fault plan: "ref" for the reference plan, compact syntax ("seed=1;rx_drop@250us*4,..."), or @file.json`)
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto or chrome://tracing)")
+	latency := flag.Bool("latency", false, "enable frame-lifecycle observation and report latency percentiles")
+	traceSample := flag.Int("trace-sample", 1, "record every Nth frame's lifecycle instants in the trace")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -62,7 +66,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nicsim: %v\n", err)
 		os.Exit(2)
 	}
+	var rec *obs.Recorder
+	if *traceOut != "" || *latency {
+		rec = n.EnableObs(obs.Config{FrameSample: *traceSample})
+	}
 	rep := n.Run(warmupPs, sim.Picoseconds(*measure)*sim.Microsecond)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nicsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nicsim: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		total, dropped := rec.EventsRecorded()
+		fmt.Fprintf(os.Stderr, "nicsim: wrote %s (%d events recorded, %d beyond ring capacity)\n", *traceOut, total, dropped)
+	}
 	if *jsonOut {
 		b, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

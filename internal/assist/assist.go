@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -134,6 +135,10 @@ type engine struct {
 	// callback (a lost completion), dup delivers it twice. The pipeline slot
 	// is always released — the fault is in the notification, not the engine.
 	faultCompletion func() (drop, dup bool)
+	// obs, when non-nil, records the in-flight job count as a counter track
+	// whenever it changes. Purely observational.
+	obs      *obs.Recorder
+	obsTrack int32
 }
 
 func newEngine(name string, depth int) *engine {
@@ -159,8 +164,10 @@ func (e *engine) tick() {
 			e.queue, e.qhead = e.queue[:0], 0
 		}
 		e.inFlight++
+		e.obs.Counter(e.obsTrack, "in-flight", e.inFlight)
 		j.run(func() {
 			e.inFlight--
+			e.obs.Counter(e.obsTrack, "in-flight", e.inFlight)
 			e.Completed.Inc()
 			if j.onDone == nil {
 				return

@@ -1,9 +1,9 @@
 package assist
 
 import (
-	"repro/internal/stats"
-
 	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // DMARead is the assist that moves data from the host into the NIC: buffer
@@ -46,6 +46,9 @@ func (d *DMARead) QueueLen() int { return d.eng.QueueLen() }
 // SetCompletionFault installs the completion-fault hook (see engine); nil
 // clears it.
 func (d *DMARead) SetCompletionFault(f func() (drop, dup bool)) { d.eng.faultCompletion = f }
+
+// SetObs routes the engine's in-flight job counter to a trace track.
+func (d *DMARead) SetObs(r *obs.Recorder, track int32) { d.eng.obs, d.eng.obsTrack = r, track }
 
 // FetchBDs fetches a descriptor batch from host memory into the scratchpad:
 // one host round-trip, then words scratchpad writes, then the progress
@@ -151,6 +154,9 @@ func (w *DMAWrite) QueueLen() int { return w.eng.QueueLen() }
 // SetCompletionFault installs the completion-fault hook (see engine); nil
 // clears it.
 func (w *DMAWrite) SetCompletionFault(f func() (drop, dup bool)) { w.eng.faultCompletion = f }
+
+// SetObs routes the engine's in-flight job counter to a trace track.
+func (w *DMAWrite) SetObs(r *obs.Recorder, track int32) { w.eng.obs, w.eng.obsTrack = r, track }
 
 // WriteFrame moves one received frame from the SDRAM receive buffer to the
 // host: SDRAM read burst, then the host round-trip.

@@ -3,6 +3,7 @@ package assist
 import (
 	"repro/internal/ethernet"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -33,6 +34,11 @@ type MACTx struct {
 
 	// OnTransmit fires when a frame's last byte leaves the wire.
 	OnTransmit func(handle any)
+
+	// Obs, when non-nil, records each frame's wire occupancy as a span on
+	// ObsTrack. Purely observational.
+	Obs      *obs.Recorder
+	ObsTrack int32
 
 	queue    []txFrame // committed, not yet fetched
 	staged   []txFrame // fetched into the MAC buffer (max 2)
@@ -108,12 +114,14 @@ func (m *MACTx) TickMAC(cycle uint64) {
 		m.staged = m.staged[1:]
 		m.wireRemain = f.size + wireOverhead
 		m.cur = f
+		m.Obs.Begin(m.ObsTrack, "tx frame")
 	}
 	m.WireBusy.Busy.Inc()
 	m.wireRemain -= BytesPerMACCycle
 	if m.wireRemain <= 0 {
 		m.wireRemain = 0
 		f := m.cur
+		m.Obs.End(m.ObsTrack, "tx frame")
 		m.TxFrames.Inc()
 		m.TxBytes.Add(uint64(f.size))
 		m.Port.Write(m.ProgressAddr, m.progressInc)
@@ -155,6 +163,11 @@ type MACRx struct {
 	// frame arriving with a bad CRC. Both are discarded by the MAC before
 	// firmware sees them and counted separately from buffer-exhaustion Drops.
 	FaultVerdict func(size int) int
+
+	// Obs, when non-nil, records wire occupancy spans on ObsTrack and each
+	// accepted frame's arrival instant as its receive-latency origin.
+	Obs      *obs.Recorder
+	ObsTrack int32
 
 	wireRemain int
 	curSize    int
@@ -207,11 +220,13 @@ func (m *MACRx) TickMAC(cycle uint64) {
 		m.wireRemain = size + wireOverhead
 		m.curSize = size
 		m.curHandle = handle
+		m.Obs.Begin(m.ObsTrack, "rx frame")
 	}
 	m.WireBusy.Busy.Inc()
 	m.wireRemain -= BytesPerMACCycle
 	if m.wireRemain <= 0 {
 		m.wireRemain = 0
+		m.Obs.End(m.ObsTrack, "rx frame")
 		m.frameArrived(m.curSize, m.curHandle)
 	}
 }
@@ -242,6 +257,11 @@ func (m *MACRx) frameArrived(size int, handle any) {
 	m.staged++
 	m.RxFrames.Inc()
 	m.RxBytes.Add(uint64(size))
+	// The frame is accepted: this instant is its receive-latency origin.
+	// Accepted frames always reach OnReceive (the SDRAM write cannot fail)
+	// and acquire firmware indices in this order, so the origin FIFO pairing
+	// in the recorder is exact.
+	m.Obs.FrameOrigin(obs.Recv)
 	m.sdram.Enqueue(m.sdramPort, mem.Transfer{
 		Addr: addr, Len: size, Write: true,
 		OnDone: func() {

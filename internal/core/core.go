@@ -15,6 +15,7 @@ import (
 	"repro/internal/firmware"
 	"repro/internal/host"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -101,6 +102,10 @@ type NIC struct {
 
 	inj     *faults.Injector
 	checker *invariantChecker
+
+	// obs, when non-nil, is the frame-lifecycle recorder (EnableObs).
+	obs           *obs.Recorder
+	obsFaultTrack int32
 
 	baseline snapshot
 	measured sim.Picoseconds
@@ -240,6 +245,9 @@ func (n *NIC) EnableTracing(maxRefs int) []*[]trace.MemRef {
 func (n *NIC) Run(warmup, measure sim.Picoseconds) Report {
 	n.Engine.RunFor(warmup)
 	n.baseline = n.snapshot()
+	// Latency aggregates cover the measurement window only; frames already in
+	// flight at the boundary still report their true (full) latency.
+	n.obs.ResetLatency()
 	if n.Engine.Stopped() {
 		n.measured = 0
 		return n.report(n.baseline)

@@ -79,6 +79,7 @@ func (n *NIC) AttachFaults(plan faults.Plan) error {
 		c.Gate = n.inj.GateFor(i)
 	}
 	n.inj.Arm(dom, faultTarget{n})
+	n.bindFaultTrace()
 	return nil
 }
 

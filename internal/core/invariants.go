@@ -21,13 +21,13 @@ import "fmt"
 type invariantChecker struct {
 	n *NIC
 
-	lastSig     [8]uint64
-	stalled     bool
-	lastTxOOO   uint64
-	lastRxOOO   uint64
-	violations  uint64
-	detail      []string
-	seen        map[string]bool
+	lastSig    [8]uint64
+	stalled    bool
+	lastTxOOO  uint64
+	lastRxOOO  uint64
+	violations uint64
+	detail     []string
+	seen       map[string]bool
 }
 
 // checkMask gates the periodic check to every 2^14 host cycles (~123 µs at

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/firmware"
+	"repro/internal/obs"
+)
+
+// EnableObs attaches a frame-lifecycle recorder to the assembled controller:
+// per-core firmware-stream spans, per-assist activity tracks, per-frame
+// lifecycle instants, fault-event instants, and the send/receive latency
+// trackers the report's Latency section is built from.
+//
+// Every hook is a passive observer inside an existing callback — enabling
+// observation cannot change simulated behaviour, only record it. Call after
+// New (and after AttachFaults, if any — though either order works), before
+// Run. Idempotent: a second call returns the existing recorder.
+func (n *NIC) EnableObs(cfg obs.Config) *obs.Recorder {
+	if n.obs != nil {
+		return n.obs
+	}
+	rec := obs.NewRecorder(cfg, n.Engine.Now)
+	n.obs = rec
+
+	// Per-core tracks: one span per firmware work stream. Idle poll passes
+	// are skipped — they dominate event volume without carrying information
+	// (idle fraction is already in the report).
+	for i, c := range n.Cores {
+		trk := rec.AddTrack(fmt.Sprintf("core %d", i))
+		c.OnStreamBegin = func(s *cpu.Stream) {
+			if s.AcctID != firmware.AcctIdle {
+				rec.Begin(trk, s.Name)
+			}
+		}
+		c.OnStreamEnd = func(s *cpu.Stream) {
+			if s.AcctID != firmware.AcctIdle {
+				rec.End(trk, s.Name)
+			}
+		}
+	}
+
+	// Assist tracks: DMA engines expose in-flight job counters, MACs expose
+	// wire-occupancy spans.
+	n.As.DMARead.SetObs(rec, rec.AddTrack("dma-read"))
+	n.As.DMAWrite.SetObs(rec, rec.AddTrack("dma-write"))
+	n.As.MACTx.Obs, n.As.MACTx.ObsTrack = rec, rec.AddTrack("mac-tx")
+	n.As.MACRx.Obs, n.As.MACRx.ObsTrack = rec, rec.AddTrack("mac-rx")
+
+	// Frame-lifecycle tracks (sampled stage instants) and latency origins.
+	rec.SetFrameTrack(obs.Send, rec.AddTrack("frames tx"))
+	rec.SetFrameTrack(obs.Recv, rec.AddTrack("frames rx"))
+	n.FW.Obs = rec
+	n.Host.OnPost = func() { rec.FrameOrigin(obs.Send) }
+
+	// Fault instants. The track exists whether or not a plan is attached, so
+	// the trace's track metadata does not depend on attach order.
+	n.obsFaultTrack = rec.AddTrack("faults")
+	n.bindFaultTrace()
+	return rec
+}
+
+// bindFaultTrace routes injector plan events onto the faults track; called
+// from both EnableObs and AttachFaults so the binding happens regardless of
+// which runs first.
+func (n *NIC) bindFaultTrace() {
+	if n.obs == nil || n.inj == nil {
+		return
+	}
+	rec, trk := n.obs, n.obsFaultTrack
+	n.inj.Trace = func(name string) { rec.Instant(trk, name) }
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/ethernet"
 	"repro/internal/firmware"
+	"repro/internal/obs"
 )
 
 // snapshot captures every counter a report diffs.
@@ -142,6 +143,11 @@ type Report struct {
 	InvariantViolations uint64       `json:"invariant_violations,omitempty"`
 	InvariantDetail     []string     `json:"invariant_detail,omitempty"`
 	Faults              *FaultReport `json:"faults,omitempty"`
+
+	// Latency holds per-frame lifecycle latency percentiles and per-stage
+	// residency, present only when observation was enabled (EnableObs) —
+	// reports from unobserved runs stay byte-identical to older builds.
+	Latency *obs.LatencyReport `json:"latency,omitempty"`
 }
 
 // FuncBreakdown is one direction's per-frame rows.
@@ -312,6 +318,7 @@ func (n *NIC) report(end snapshot) Report {
 		r.InvariantDetail = n.checker.detail
 	}
 	r.Faults = n.faultReport()
+	r.Latency = n.obs.LatencyReport()
 	return r
 }
 
@@ -347,6 +354,18 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "  recovery: dma retried %d recovered %d dup-suppressed %d outstanding %d; takeovers %d (retries %d, %d streams rescued, %d flag repairs)\n",
 			f.DMARetried, f.DMARecovered, f.DMADupSuppressed, f.OutstandingDMAs,
 			f.Takeovers, f.Injected.TakeoverRetry, f.StreamsRescued, f.FlagRepairs)
+	}
+	if l := r.Latency; l != nil {
+		lat := func(name string, d obs.DirLatency) {
+			fmt.Fprintf(&b, "%s latency: %d frames, p50 %.2f p90 %.2f p99 %.2f max %.2f µs\n",
+				name, d.Frames, d.P50Us, d.P90Us, d.P99Us, d.MaxUs)
+			for _, st := range d.Stages {
+				fmt.Fprintf(&b, "  %-28s %6d frames, mean %7.3f max %7.3f µs\n",
+					st.Name, st.Frames, st.MeanUs, st.MaxUs)
+			}
+		}
+		lat("send", l.Send)
+		lat("receive", l.Recv)
 	}
 	if r.InvariantViolations > 0 {
 		fmt.Fprintf(&b, "INVARIANT VIOLATIONS: %d\n", r.InvariantViolations)

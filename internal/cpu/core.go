@@ -151,6 +151,12 @@ type Core struct {
 	// TraceMem, when set, observes every completed scratchpad transaction
 	// (for the Figure 3 coherence traces).
 	TraceMem func(trace.MemRef)
+	// OnStreamBegin/OnStreamEnd, when set, observe stream occupancy: begin
+	// fires when the core picks a stream up, end when the stream completes on
+	// this core or is evicted by Preempt (the rescuing core begins it again).
+	// Observers must not mutate the stream.
+	OnStreamBegin func(*Stream)
+	OnStreamEnd   func(*Stream)
 	// AllowIdleSkip opts the core into engine idle-skip fast-forward while it
 	// has no stream. Leave false (the default, and what the NIC model uses)
 	// unless NextWork is nil or is known to be side-effect free when it
@@ -352,6 +358,9 @@ func (c *Core) Tick(cycle uint64) {
 				c.pcOff = 0
 				c.state = stFetch
 				c.lockPhase = lkNone
+				if c.OnStreamBegin != nil {
+					c.OnStreamBegin(s)
+				}
 			}
 		}
 		if c.cur == nil {
@@ -607,8 +616,12 @@ func (c *Core) advance() {
 	c.opIdx++
 	if c.opIdx >= len(c.cur.Ops) {
 		done := c.cur.OnDone
+		cur := c.cur
 		c.cur = nil
 		c.state = stFetch
+		if c.OnStreamEnd != nil {
+			c.OnStreamEnd(cur)
+		}
 		if done != nil {
 			done()
 		}
@@ -690,6 +703,9 @@ func (c *Core) Preempt() (*Stream, bool) {
 		// Every op took effect; keep a one-op stub so OnDone still runs on
 		// the rescuing core.
 		out.Ops = []Op{{Kind: OpALU}}
+	}
+	if c.OnStreamEnd != nil {
+		c.OnStreamEnd(c.cur)
 	}
 	c.cur = nil
 	c.state = stFetch

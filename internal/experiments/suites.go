@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/firmware"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/smpcache"
 	"repro/internal/sweep"
@@ -129,6 +130,13 @@ func Simulate(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
 // tick_costs. Diagnostic only — the reports themselves are unchanged.
 var TickProfile bool
 
+// Observe, when set before a sweep starts, enables frame-lifecycle latency
+// observation on every simulated job: each report gains a Latency section
+// (percentiles and per-stage residency). Observation is passive — every other
+// report field is unchanged — but because the Latency section alters the
+// report JSON, sweeps comparing against stored baselines must leave it off.
+var Observe bool
+
 // simulate runs one configuration with cooperative cancellation, attaching
 // the fault plan (if any) before the run starts.
 func simulate(ctx context.Context, cfg core.Config, udpSize int, b Budget, plan *faults.Plan) (core.Report, []sim.DomainCost, error) {
@@ -141,6 +149,9 @@ func simulate(ctx context.Context, cfg core.Config, udpSize int, b Budget, plan 
 	}
 	if TickProfile {
 		n.Engine.ProfileTicks(true)
+	}
+	if Observe {
+		n.EnableObs(obs.Config{})
 	}
 	defer watchdog(ctx, n.Engine)()
 	r := n.Run(b.Warmup, b.Measure)

@@ -79,7 +79,19 @@ type Injector struct {
 	stuck     []bool
 	slowEvery []uint64
 
+	// Trace, when non-nil, observes each plan event as it fires (by name).
+	// The scheduled closures consult it lazily, so it may be bound any time
+	// before the engine runs, including after Arm.
+	Trace func(name string)
+
 	Counters Counters
+}
+
+// note reports one fired plan event to the trace observer, if any.
+func (in *Injector) note(name string) {
+	if in.Trace != nil {
+		in.Trace(name)
+	}
 }
 
 // NewInjector builds an injector for the plan sized to the machine.
@@ -108,15 +120,15 @@ func (in *Injector) Arm(dom *sim.Domain, tgt Target) {
 		}
 		switch e.Kind {
 		case RxCorrupt:
-			dom.Schedule(e.At, func() { in.rxCorruptLeft += count })
+			dom.Schedule(e.At, func() { in.rxCorruptLeft += count; in.note("rx_corrupt") })
 		case RxDrop:
-			dom.Schedule(e.At, func() { in.rxDropLeft += count })
+			dom.Schedule(e.At, func() { in.rxDropLeft += count; in.note("rx_drop") })
 		case DMALoss:
-			dom.Schedule(e.At, func() { in.dmaLossLeft += count })
+			dom.Schedule(e.At, func() { in.dmaLossLeft += count; in.note("dma_loss") })
 		case DMADup:
-			dom.Schedule(e.At, func() { in.dmaDupLeft += count })
+			dom.Schedule(e.At, func() { in.dmaDupLeft += count; in.note("dma_dup") })
 		case BankError:
-			dom.Schedule(e.At, func() { in.bankDown[e.Target] = true })
+			dom.Schedule(e.At, func() { in.bankDown[e.Target] = true; in.note("bank_error") })
 			dom.Schedule(e.At+e.Dur, func() { in.bankDown[e.Target] = false })
 		case CoreSlow:
 			factor := uint64(e.Factor)
@@ -126,12 +138,14 @@ func (in *Injector) Arm(dom *sim.Domain, tgt Target) {
 			dom.Schedule(e.At, func() {
 				in.slowEvery[e.Target] = factor
 				in.Counters.CoreSlow++
+				in.note("core_slow")
 			})
 			dom.Schedule(e.At+e.Dur, func() { in.slowEvery[e.Target] = 0 })
 		case CoreStuck:
 			dom.Schedule(e.At, func() {
 				in.stuck[e.Target] = true
 				in.Counters.CoreStuck++
+				in.note("core_stuck")
 			})
 			in.scheduleTakeover(e.Target, e.At+takeoverDetect, 0)
 			if e.Dur != 0 {
@@ -141,22 +155,26 @@ func (in *Injector) Arm(dom *sim.Domain, tgt Target) {
 			dom.Schedule(e.At, func() {
 				tgt.SetStarved(true)
 				in.Counters.RingStarve++
+				in.note("ring_starve")
 			})
 			dom.Schedule(e.At+e.Dur, func() { tgt.SetStarved(false) })
 		case MailboxLoss:
 			dom.Schedule(e.At, func() {
 				tgt.LoseMailboxWrites(count)
 				in.Counters.MailboxLoss += uint64(count)
+				in.note("mailbox_loss")
 			})
 		case FWLeak:
 			dom.Schedule(e.At, func() {
 				tgt.SabotageLeak(e.Target == 0)
 				in.Counters.Sabotage++
+				in.note("fw_leak")
 			})
 		case FWSwap:
 			dom.Schedule(e.At, func() {
 				tgt.SabotageSwap(e.Target == 0)
 				in.Counters.Sabotage++
+				in.note("fw_swap")
 			})
 		}
 	}
@@ -178,6 +196,7 @@ func (in *Injector) scheduleTakeover(core int, base sim.Picoseconds, attempt int
 	in.dom.Schedule(base+sim.Picoseconds(attempt)*takeoverRetry, func() {
 		if in.tgt.TryTakeover(core) {
 			in.Counters.TakeoversFired++
+			in.note("takeover")
 			return
 		}
 		in.Counters.TakeoverRetry++

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/host"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -181,6 +182,10 @@ type Firmware struct {
 	RxDelivered stats.Counter
 	// OnTransmit observes transmitted frames (order validation).
 	OnTransmit func(f *host.Frame)
+	// Obs, when non-nil, receives per-frame lifecycle stage events. All
+	// recording happens inside callbacks that already run at the
+	// timing-correct instants, so the hooks cannot perturb the simulation.
+	Obs *obs.Recorder
 }
 
 // New wires a firmware instance to the memory system, host, and assists,
@@ -214,10 +219,12 @@ func New(prof Profile, sp *mem.Scratchpad, hst *host.Host, as Assists, nCores in
 		fw.recvRing[fr.idx%FlagBits] = fr
 		fr.slot = int((buf - fw.rxRing.base) / fw.rxRing.slotSize)
 		fw.rxArrivedQ = append(fw.rxArrivedQ, fr)
+		fw.Obs.FrameStage(obs.Recv, obs.RecvBuffered, fr.idx)
 	}
 	as.MACTx.OnTransmit = func(handle any) {
 		fr := handle.(*sendFrame)
 		fw.txDoneQ = append(fw.txDoneQ, fr)
+		fw.Obs.FrameStage(obs.Send, obs.SendWireDone, fr.idx)
 		if fw.OnTransmit != nil {
 			fw.OnTransmit(fr.f)
 		}
@@ -503,6 +510,7 @@ func (fw *Firmware) claimFetchSendBD(coreID int) *cpu.Stream {
 				fw.sendSeq++
 				fw.sendRing[fr.idx%FlagBits] = fr
 				fw.prepQ = append(fw.prepQ, fr)
+				fw.Obs.FrameStage(obs.Send, obs.SendBDFetched, fr.idx)
 			}
 			fw.bdFetchOut--
 		}
@@ -565,11 +573,13 @@ func (fw *Firmware) claimSendPrep(coreID int) *cpu.Stream {
 			fire := func() {
 				fw.dmaOutSend--
 				fw.sendDMADone = append(fw.sendDMADone, f)
+				fw.Obs.FrameStage(obs.Send, obs.SendDMADone, f.idx)
 			}
 			issue := func(onDone func()) {
 				fw.as.DMARead.FetchFrame(addr, host.HeaderBytes, f.f.Size-host.HeaderBytes, onDone)
 			}
 			issue(fw.expect("send-frame-dma", issue, fire))
+			fw.Obs.FrameStage(obs.Send, obs.SendDMAStart, f.idx)
 		}
 	})
 	work := b.build("send-prep", codeSendBase, fw.Prof.CodeSendFrame, AcctSendFrame, nil)
@@ -640,6 +650,7 @@ func (fw *Firmware) claimSendComplete(coreID int) *cpu.Stream {
 	b.then(func() {
 		for _, fr := range frames {
 			fw.txRing.release(fr.slot)
+			fw.Obs.FrameStage(obs.Send, obs.SendNotified, fr.idx)
 		}
 		fw.hst.CompleteSend(len(frames))
 	})
@@ -727,11 +738,13 @@ func (fw *Firmware) claimRecvPrep(coreID int) *cpu.Stream {
 			fire := func() {
 				fw.dmaOutRecv--
 				fw.rxDMADone = append(fw.rxDMADone, f)
+				fw.Obs.FrameStage(obs.Recv, obs.RecvDMADone, f.idx)
 			}
 			issue := func(onDone func()) {
 				fw.as.DMAWrite.WriteDescriptor(RegionRecvDesc+desc(f.idx, DescDMA), RecvBDWords, onDone)
 			}
 			issue(fw.expect("recv-desc-dma", issue, fire))
+			fw.Obs.FrameStage(obs.Recv, obs.RecvDMAStart, f.idx)
 		}
 	})
 	work := b.build("recv-prep", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
@@ -851,9 +864,11 @@ func (fw *Firmware) orderingSetStream(send bool, sf []*sendFrame, rf []*recvFram
 		if send {
 			fw.sendSet++
 			fw.ordPendSend--
+			fw.Obs.FrameStage(obs.Send, obs.SendFlagSet, idxOf(i))
 		} else {
 			fw.recvSet++
 			fw.ordPendRecv--
+			fw.Obs.FrameStage(obs.Recv, obs.RecvFlagSet, idxOf(i))
 		}
 	}
 
@@ -1018,6 +1033,7 @@ func (fw *Firmware) commitCleared(send bool, k int) {
 			fw.sendCommitHead++
 			fw.TxCommitted.Inc()
 			fw.as.MACTx.Send(fr.buf, fr.f.Size, fr)
+			fw.Obs.FrameStage(obs.Send, obs.SendCommitted, fr.idx)
 		} else {
 			fr := fw.recvRing[fw.recvCommitHead%FlagBits]
 			if fr == nil {
@@ -1028,6 +1044,7 @@ func (fw *Firmware) commitCleared(send bool, k int) {
 			fw.RxDelivered.Inc()
 			fw.hst.DeliverFrame(fr.f)
 			fw.recvDoneQ = append(fw.recvDoneQ, fr)
+			fw.Obs.FrameStage(obs.Recv, obs.RecvDelivered, fr.idx)
 		}
 	}
 }

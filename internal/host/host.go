@@ -110,11 +110,11 @@ type Host struct {
 	// when a doorbell write is lost, and the driver re-rings on a later tick
 	// (so a lost mailbox write delays, never deadlocks). starved halts the
 	// driver entirely, modeling host descriptor-ring starvation.
-	starved     bool
-	sendVisible int // send BDs announced to the NIC
-	recvVisible int // receive buffers announced to the NIC
-	loseMailbox int // armed doorbell losses
-	MailboxLost stats.Counter
+	starved      bool
+	sendVisible  int // send BDs announced to the NIC
+	recvVisible  int // receive buffers announced to the NIC
+	loseMailbox  int // armed doorbell losses
+	MailboxLost  stats.Counter
 	StarvedTicks stats.Counter
 
 	// Delivered traffic accounting and in-order validation.
@@ -128,6 +128,11 @@ type Host struct {
 
 	// OnDeliver observes every frame handed to the host (tests, examples).
 	OnDeliver func(*Frame)
+
+	// OnPost observes every frame the driver posts, in posting order. Frames
+	// are consumed by the NIC strictly in this order (TakeSendBDs is a FIFO),
+	// so observers may pair postings with later lifecycle stages positionally.
+	OnPost func()
 }
 
 type delayed struct {
@@ -234,6 +239,9 @@ func (h *Host) driver() {
 		h.inFlight++
 		h.postedFrames++
 		posted++
+		if h.OnPost != nil {
+			h.OnPost()
+		}
 	}
 	// Ring the send doorbell when there is anything new to announce,
 	// including postings a previously lost doorbell failed to announce.

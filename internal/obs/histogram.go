@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// maxSamples bounds a histogram's sample store; samples beyond it are
+// dropped from the quantiles (but still counted and folded into Max). The
+// measurement windows in use yield a few thousand frames per direction, far
+// below the cap.
+const maxSamples = 1 << 20
+
+// Histogram accumulates latency samples and answers exact nearest-rank
+// quantiles. It stores the samples themselves (no bucketing error), sorting
+// lazily at query time.
+type Histogram struct {
+	samples []sim.Picoseconds
+	sorted  bool
+	max     sim.Picoseconds
+	dropped uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v sim.Picoseconds) {
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) >= maxSamples {
+		h.dropped++
+		return
+	}
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// N returns the number of samples recorded (including any dropped from the
+// quantile store).
+func (h *Histogram) N() uint64 { return uint64(len(h.samples)) + h.dropped }
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() sim.Picoseconds { return h.max }
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]) of the stored
+// samples: the smallest sample such that at least q·N samples are <= it.
+// Empty histograms return 0; q <= 0 returns the minimum, q >= 1 the maximum.
+func (h *Histogram) Quantile(q float64) sim.Picoseconds {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return h.samples[idx]
+}
+
+// Reset clears the histogram, retaining the allocated sample store.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.max = 0
+	h.dropped = 0
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if n := h.N(); n != 0 {
+		t.Errorf("N() = %d, want 0", n)
+	}
+	if m := h.Max(); m != 0 {
+		t.Errorf("Max() = %d, want 0", m)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("Quantile(%v) = %d, want 0 on empty histogram", q, v)
+		}
+	}
+}
+
+func TestHistogramOneSample(t *testing.T) {
+	var h Histogram
+	h.Add(42)
+	if n := h.N(); n != 1 {
+		t.Fatalf("N() = %d, want 1", n)
+	}
+	// Every quantile of a single sample is that sample, including the q<=0
+	// and q>=1 clamps.
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if v := h.Quantile(q); v != 42 {
+			t.Errorf("Quantile(%v) = %d, want 42", q, v)
+		}
+	}
+	if m := h.Max(); m != 42 {
+		t.Errorf("Max() = %d, want 42", m)
+	}
+}
+
+func TestHistogramNearestRank(t *testing.T) {
+	var h Histogram
+	// Insert 1..100 out of order; nearest-rank quantiles are exact.
+	for i := 100; i >= 1; i-- {
+		h.Add(sim.Picoseconds(i))
+	}
+	cases := []struct {
+		q    float64
+		want sim.Picoseconds
+	}{
+		{0, 1}, {0.01, 1}, {0.50, 50}, {0.90, 90}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if v := h.Quantile(c.q); v != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, v, c.want)
+		}
+	}
+	if m := h.Max(); m != 100 {
+		t.Errorf("Max() = %d, want 100", m)
+	}
+	// Adding after a quantile query must re-sort.
+	h.Add(0)
+	if v := h.Quantile(0); v != 0 {
+		t.Errorf("Quantile(0) after late Add = %d, want 0", v)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Add(7)
+	h.Reset()
+	if h.N() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("Reset left state: N=%d Max=%d p50=%d", h.N(), h.Max(), h.Quantile(0.5))
+	}
+	h.Add(3)
+	if h.N() != 1 || h.Quantile(0.5) != 3 {
+		t.Errorf("histogram unusable after Reset: N=%d p50=%d", h.N(), h.Quantile(0.5))
+	}
+}

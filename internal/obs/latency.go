@@ -1,0 +1,160 @@
+package obs
+
+import "repro/internal/sim"
+
+// frameLat is one frame's per-stage timestamp vector. Zero means "not
+// recorded" — valid because no lifecycle event happens at simulated time 0.
+type frameLat struct {
+	t [maxStages]sim.Picoseconds
+}
+
+// dirTracker tracks one direction's frames. Frames are keyed by their
+// firmware sequence index into a power-of-two ring; a slot is claimed (and
+// zeroed) by stage 1, so a frame abandoned mid-pipeline is simply overwritten
+// a full ring-revolution later.
+type dirTracker struct {
+	nStages int
+	ring    []frameLat
+
+	// origin is a head-indexed FIFO of pre-identity timestamps (FrameOrigin),
+	// consumed in order by stage 1: both paths assign frame indices in origin
+	// order, so the FIFO pairing is exact.
+	origins    []sim.Picoseconds
+	originHead int
+
+	hist Histogram
+	// Per-stage residency accumulators, indexed by the stage that *ends* the
+	// residency (entry 0 unused): sum and max of t[i]-t[i-1], and how many
+	// frames had both endpoints recorded.
+	stageSum []sim.Picoseconds
+	stageMax []sim.Picoseconds
+	stageCnt []uint64
+}
+
+func (t *dirTracker) init(nStages int) {
+	t.nStages = nStages
+	t.ring = make([]frameLat, 1<<latRingBits)
+	t.stageSum = make([]sim.Picoseconds, nStages)
+	t.stageMax = make([]sim.Picoseconds, nStages)
+	t.stageCnt = make([]uint64, nStages)
+}
+
+func (t *dirTracker) origin(at sim.Picoseconds) {
+	t.origins = append(t.origins, at)
+}
+
+func (t *dirTracker) stage(stage int, seq uint64, at sim.Picoseconds) {
+	fl := &t.ring[seq&uint64(len(t.ring)-1)]
+	if stage == 1 {
+		*fl = frameLat{}
+		if t.originHead < len(t.origins) {
+			fl.t[0] = t.origins[t.originHead]
+			t.originHead++
+			if t.originHead == len(t.origins) {
+				t.origins, t.originHead = t.origins[:0], 0
+			}
+		}
+	}
+	fl.t[stage] = at
+	if stage == t.nStages-1 {
+		t.finish(fl, at)
+	}
+}
+
+// finish folds a completed frame into the histograms.
+func (t *dirTracker) finish(fl *frameLat, at sim.Picoseconds) {
+	start := fl.t[0]
+	if start == 0 {
+		// Origin unknown (observability enabled mid-stream): measure from the
+		// first identified stage instead of skewing the histogram with zeros.
+		start = fl.t[1]
+	}
+	if start == 0 || at < start {
+		return
+	}
+	t.hist.Add(at - start)
+	for i := 1; i < t.nStages; i++ {
+		a, b := fl.t[i-1], fl.t[i]
+		if a == 0 || b == 0 || b < a {
+			continue
+		}
+		d := b - a
+		t.stageSum[i] += d
+		t.stageCnt[i]++
+		if d > t.stageMax[i] {
+			t.stageMax[i] = d
+		}
+	}
+}
+
+func (t *dirTracker) reset() {
+	t.hist.Reset()
+	for i := range t.stageSum {
+		t.stageSum[i] = 0
+		t.stageMax[i] = 0
+		t.stageCnt[i] = 0
+	}
+}
+
+// StageLatency is one per-stage residency row: the time frames spent between
+// two adjacent lifecycle stages.
+type StageLatency struct {
+	Name   string  `json:"name"` // "from->to"
+	Frames uint64  `json:"frames"`
+	MeanUs float64 `json:"mean_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// DirLatency is one direction's frame-latency summary: end-to-end quantiles
+// plus the per-stage residency breakdown.
+type DirLatency struct {
+	Frames uint64         `json:"frames"`
+	P50Us  float64        `json:"p50_us"`
+	P90Us  float64        `json:"p90_us"`
+	P99Us  float64        `json:"p99_us"`
+	MaxUs  float64        `json:"max_us"`
+	Stages []StageLatency `json:"stages"`
+}
+
+// LatencyReport is the Latency section of a core report.
+type LatencyReport struct {
+	Send DirLatency `json:"send"`
+	Recv DirLatency `json:"recv"`
+}
+
+func us(p sim.Picoseconds) float64 { return float64(p) / 1e6 }
+
+func (t *dirTracker) report(dir Dir) DirLatency {
+	d := DirLatency{
+		Frames: t.hist.N(),
+		P50Us:  us(t.hist.Quantile(0.50)),
+		P90Us:  us(t.hist.Quantile(0.90)),
+		P99Us:  us(t.hist.Quantile(0.99)),
+		MaxUs:  us(t.hist.Max()),
+	}
+	for i := 1; i < t.nStages; i++ {
+		s := StageLatency{
+			Name:   StageName(dir, i-1) + "->" + StageName(dir, i),
+			Frames: t.stageCnt[i],
+			MaxUs:  us(t.stageMax[i]),
+		}
+		if s.Frames > 0 {
+			s.MeanUs = us(t.stageSum[i]) / float64(s.Frames)
+		}
+		d.Stages = append(d.Stages, s)
+	}
+	return d
+}
+
+// LatencyReport summarizes the frame latencies observed since the last
+// ResetLatency. Nil receivers return nil, so callers can assign the result
+// into an omitempty report field unconditionally.
+func (r *Recorder) LatencyReport() *LatencyReport {
+	if r == nil {
+		return nil
+	}
+	return &LatencyReport{
+		Send: r.lat[Send].report(Send),
+		Recv: r.lat[Recv].report(Recv),
+	}
+}

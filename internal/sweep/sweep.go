@@ -104,14 +104,14 @@ type Outcome struct {
 // Result is one finished job: the outcome plus identity and provenance.
 // Results serialize one-per-line into the JSONL store.
 type Result struct {
-	ID         string          `json:"id"`
-	Hash       string          `json:"hash"`
-	Spec       Spec            `json:"spec"`
-	Report     *core.Report    `json:"report,omitempty"`
-	Aux        json.RawMessage `json:"aux,omitempty"`
+	ID         string           `json:"id"`
+	Hash       string           `json:"hash"`
+	Spec       Spec             `json:"spec"`
+	Report     *core.Report     `json:"report,omitempty"`
+	Aux        json.RawMessage  `json:"aux,omitempty"`
 	TickCosts  []sim.DomainCost `json:"tick_costs,omitempty"`
-	Err        string          `json:"err,omitempty"`
-	ElapsedSec float64         `json:"elapsed_sec"`
+	Err        string           `json:"err,omitempty"`
+	ElapsedSec float64          `json:"elapsed_sec"`
 
 	// Cached is true when the result was served from the store or the
 	// runner's in-memory memo rather than simulated. Not persisted.
