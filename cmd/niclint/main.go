@@ -1,0 +1,74 @@
+// Command niclint runs the repository's custom static-analysis suite
+// (internal/lint): detlint, hotpath, unitlint, and exhaustive. It loads and
+// type-checks packages with the standard library only — no module downloads
+// — so it runs in hermetic CI.
+//
+// Usage:
+//
+//	go run ./cmd/niclint ./...
+//	go run ./cmd/niclint -hotpath=false ./internal/sim ./internal/core
+//
+// Exit status is 1 when any diagnostic is reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	enabled := map[string]*bool{}
+	for _, a := range lint.All() {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	verbose := flag.Bool("v", false, "list packages as they are analyzed")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lint.NewProgram(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := prog.LoadPatterns(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintf(os.Stderr, "niclint: %s\n", p.Path)
+		}
+	}
+	diags, err := prog.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "niclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "niclint:", err)
+	os.Exit(2)
+}

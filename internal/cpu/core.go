@@ -343,6 +343,8 @@ func (c *Core) SkipIdle(cycles uint64) {
 }
 
 // Tick advances the core one CPU-domain cycle.
+//
+//nic:hotpath
 func (c *Core) Tick(cycle uint64) {
 	c.Stats.Cycles++
 	if c.Gate != nil && !c.Gate(cycle) {
@@ -410,6 +412,7 @@ func (c *Core) Tick(cycle uint64) {
 				c.lockPhase = lkNone // retry the ll
 				c.state = stFetch
 			default:
+				//nic:alloc unreachable unless the state machine is corrupt
 				panic(fmt.Sprintf("cpu: core %d: stPlain in lock phase %d", c.ID, c.lockPhase))
 			}
 			return

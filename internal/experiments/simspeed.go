@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -91,9 +92,9 @@ func measurePoint(name string, cfg core.Config, b Budget) SimSpeedPoint {
 	var m0, m1 runtime.MemStats
 	steps0 := n.Engine.Steps()
 	runtime.ReadMemStats(&m0)
-	t0 := time.Now()
+	t0 := time.Now() //nic:wallclock measuring wall time is this benchmark's purpose
 	n.Engine.RunFor(b.Measure)
-	wall := time.Since(t0)
+	wall := time.Since(t0) //nic:wallclock
 	runtime.ReadMemStats(&m1)
 	steps := n.Engine.Steps() - steps0
 
@@ -173,7 +174,12 @@ func CompareSimSpeed(base SimSpeedFile, fresh []SimSpeedPoint) []string {
 				100*(f.AllocsPerStep/b.AllocsPerStep-1), 100*tol))
 		}
 	}
+	missing := make([]string, 0, len(byName))
 	for name := range byName {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
 		bad = append(bad, fmt.Sprintf("%s: baseline point not measured", name))
 	}
 	return bad

@@ -15,6 +15,7 @@ package faults
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -23,7 +24,11 @@ import (
 	"repro/internal/sim"
 )
 
-// Kind names one fault class.
+// Kind names one fault class. Switches over Kind are checked by niclint's
+// exhaustive analyzer: adding a constant here forces every classifying switch
+// to decide how the new kind behaves.
+//
+//nic:exhaustive
 type Kind string
 
 // Fault classes. The fw_* kinds deliberately sabotage firmware state (leak a
@@ -55,6 +60,8 @@ func windowed(k Kind) bool {
 	switch k {
 	case BankError, CoreStuck, CoreSlow, RingStarve:
 		return true
+	case RxCorrupt, RxDrop, DMALoss, DMADup, MailboxLoss, FWLeak, FWSwap:
+		return false
 	}
 	return false
 }
@@ -64,6 +71,8 @@ func counted(k Kind) bool {
 	switch k {
 	case RxCorrupt, RxDrop, DMALoss, DMADup, MailboxLoss:
 		return true
+	case BankError, CoreStuck, CoreSlow, RingStarve, FWLeak, FWSwap:
+		return false
 	}
 	return false
 }
@@ -147,6 +156,8 @@ func (p Plan) Validate(cores, banks int) error {
 			if e.Target > 1 {
 				return fmt.Errorf("faults: event %d (%s): target must be 0 (send) or 1 (recv)", i, e.Kind)
 			}
+		case RxCorrupt, RxDrop, DMALoss, DMADup, MailboxLoss:
+			// Counted kinds: only the generic count/target checks above apply.
 		}
 		if !windowed(e.Kind) && e.Dur != 0 {
 			return fmt.Errorf("faults: event %d (%s): duration on a non-windowed kind", i, e.Kind)
@@ -326,11 +337,23 @@ func parseDur(s string) (sim.Picoseconds, error) {
 	case strings.HasSuffix(s, "ps"):
 		s = s[:len(s)-2]
 	}
+	// Integer fast path: String always renders integer scalars, so taking it
+	// exactly (no float rounding near 2^53) keeps parse→String→parse lossless.
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		if unit > 1 && v > uint64(1<<64-1)/uint64(unit) {
+			return 0, fmt.Errorf("time %q overflows", s)
+		}
+		return sim.Picoseconds(v) * unit, nil
+	}
 	v, err := strconv.ParseFloat(s, 64)
-	if err != nil || v < 0 {
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 		return 0, fmt.Errorf("bad time %q", s)
 	}
-	return sim.Picoseconds(v*float64(unit) + 0.5), nil
+	ps := v*float64(unit) + 0.5
+	if ps >= float64(1<<63)*2 { // 2^64: conversion to uint64 would wrap
+		return 0, fmt.Errorf("time %q overflows", s)
+	}
+	return sim.Picoseconds(ps), nil
 }
 
 // Reference builds the documented reference plan: at least one event of every

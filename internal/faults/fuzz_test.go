@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan asserts the compact syntax round-trips: any string ParsePlan
+// accepts must render (String) to a form that parses back to the identical
+// plan, and the rendered form must be a fixed point. String always emits
+// integer scalars, so parseDur's integer fast path keeps the cycle lossless
+// even at the top of the uint64 range.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("")
+	f.Add("rx_corrupt@310us*4,core_stuck@360us+20us:1,bank_error@340us+10us:2")
+	f.Add("seed=7;core_slow@1us+2us:3x4")
+	f.Add("seed=-9;mailbox_loss@5ms*2")
+	f.Add("fw_swap@100ns:1")
+	f.Add("dma_dup@0ps")
+	f.Add("rx_drop@18446744073709551615ps")
+	f.Add("rx_drop@1.5us")
+	f.Add("ring_starve@2ms+250us")
+	f.Add(Reference(0).String())
+	f.Add(Reference(310 * 1000 * 1000).String())
+	f.Fuzz(func(t *testing.T, s string) {
+		if strings.HasPrefix(strings.TrimSpace(s), "@") {
+			t.Skip("JSON file indirection, not a grammar production")
+		}
+		p1, err := ParsePlan(s)
+		if err != nil {
+			t.Skip()
+		}
+		rendered := p1.String()
+		p2, err := ParsePlan(rendered)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) succeeded but its String %q does not parse: %v", s, rendered, err)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("round trip mismatch:\n  input  %q -> %+v\n  render %q -> %+v", s, p1, rendered, p2)
+		}
+		if again := p2.String(); again != rendered {
+			t.Fatalf("String is not a fixed point: %q then %q", rendered, again)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detlint enforces the determinism contract in deterministic packages: no
+// wall-clock reads, no unseeded math/rand, and no range-over-map loops that
+// feed serialization, report, or trace output.
+//
+// A package is deterministic when its import path is under the module's
+// internal tree (excluding the lint suite itself and testdata), or when any
+// of its package docs carries //nic:deterministic. Sanctioned wall-clock
+// sites (wall-time accounting around the simulated machine, tick profiling)
+// are annotated //nic:wallclock; map ranges whose order provably cannot
+// reach output are annotated //nic:unordered.
+var Detlint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid wall-clock, unseeded rand, and order-leaking map ranges in deterministic packages",
+	Run:  runDetlint,
+}
+
+// wallclockFuncs are the time-package functions that read the wall clock (or
+// block on it).
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true, "Sleep": true, "After": true, "Tick": true, "NewTimer": true, "NewTicker": true}
+
+// seededRandFuncs are the math/rand constructors that produce explicitly
+// seeded generators; every other package-level rand function draws from the
+// shared, unseeded (or globally seeded) process-wide source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+// Deterministic reports whether the pass's package is subject to the
+// determinism contract.
+func (p *Pass) Deterministic() bool {
+	if p.Pkg.pkgDirs["deterministic"] {
+		return true
+	}
+	path := p.Pkg.Path
+	internal := p.Prog.ModulePath + "/internal/"
+	if !strings.HasPrefix(path, internal) {
+		return false
+	}
+	sub := strings.TrimPrefix(path, internal)
+	return sub != "lint" && !strings.HasPrefix(sub, "lint/")
+}
+
+func runDetlint(pass *Pass) error {
+	if !pass.Deterministic() {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasSort := funcCallsSort(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDetCall(pass, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, n, hasSort)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkDetCall flags wall-clock reads and unseeded math/rand calls.
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	if name, ok := pass.calleeIsPkgFunc(call, "time"); ok && wallclockFuncs[name] {
+		if !pass.LineHas(call.Pos(), "wallclock") {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic package; derive time from the simulation (or annotate a sanctioned profiling site //nic:wallclock)", name)
+		}
+		return
+	}
+	for _, randPkg := range [2]string{"math/rand", "math/rand/v2"} {
+		if name, ok := pass.calleeIsPkgFunc(call, randPkg); ok && !seededRandFuncs[name] {
+			pass.Reportf(call.Pos(), "%s.%s draws from the global source in a deterministic package; thread a seed and use rand.New(rand.NewSource(seed))", randPkg, name)
+		}
+	}
+}
+
+// checkMapRange flags a range over a map whose body feeds ordered output:
+// a direct serialization call inside the loop, or an append accumulation in
+// a function that never sorts (the sorted-keys idiom appends then sorts, and
+// stays exempt).
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, funcSorts bool) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if pass.LineHas(rng.Pos(), "unordered") {
+		return
+	}
+	var sink string
+	sawAppend := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sink != "" {
+			return sink == ""
+		}
+		if pass.isBuiltin(call, "append") {
+			sawAppend = true
+			return true
+		}
+		if fn := pass.CalleeFunc(call); fn != nil {
+			if fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "fmt", "encoding/json", "encoding/gob", "encoding/xml":
+					sink = fn.Pkg().Name() + "." + fn.Name()
+					return false
+				}
+			}
+			switch name := fn.Name(); {
+			case strings.HasPrefix(name, "Write"), strings.HasPrefix(name, "Print"),
+				strings.HasPrefix(name, "Encode"), strings.HasPrefix(name, "Marshal"),
+				strings.HasPrefix(name, "Fprint"):
+				sink = name
+				return false
+			}
+		}
+		return true
+	})
+	switch {
+	case sink != "":
+		pass.Reportf(rng.Pos(), "range over map feeds ordered output through %s; iterate sorted keys or annotate //nic:unordered", sink)
+	case sawAppend && !funcSorts:
+		pass.Reportf(rng.Pos(), "range over map accumulates into a slice with no sort in this function; sort the result or annotate //nic:unordered")
+	}
+}
+
+// funcCallsSort reports whether the body calls into package sort or slices —
+// the signal that a map-range key accumulation gets ordered before use.
+func funcCallsSort(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pass.CalleeFunc(call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive checks that every switch over an enum type annotated
+// //nic:exhaustive names every declared constant of that type. A switch with
+// a default clause is exempt (the default handles future constants by
+// construction), as is a switch annotated //nic:nonexhaustive.
+//
+// The required constant set is every package-level constant of the enum type
+// declared in the enum's package; for switches in other packages only the
+// exported constants are required.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over //nic:exhaustive enums must cover every constant",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagT := pass.TypeOf(sw.Tag)
+	if tagT == nil {
+		return
+	}
+	enum, ok := pass.Prog.IsExhaustiveEnum(tagT)
+	if !ok {
+		return
+	}
+	if pass.LineHas(sw.Pos(), "nonexhaustive") {
+		return
+	}
+	required := enumConstants(enum, tagT, enum.Pkg() == pass.Pkg.Types)
+
+	covered := map[string]bool{}
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for name, val := range required {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch over %s misses constants: %s (add cases, a default, or //nic:nonexhaustive)",
+		enum.Name(), strings.Join(missing, ", "))
+}
+
+// enumConstants maps the enum's declared constant names to their exact
+// values. Constants sharing a value are collapsed onto one representative
+// name so duplicate aliases never demand duplicate cases.
+func enumConstants(enum *types.TypeName, t types.Type, includeUnexported bool) map[string]string {
+	out := map[string]string{}
+	byVal := map[string]string{}
+	scope := enum.Pkg().Scope()
+	names := scope.Names()
+	// Declaration order, so an alias declared later collapses onto the
+	// original constant's name rather than an alphabetically-earlier alias.
+	sort.Slice(names, func(i, j int) bool {
+		return scope.Lookup(names[i]).Pos() < scope.Lookup(names[j]).Pos()
+	})
+	for _, name := range names {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		if !includeUnexported && !c.Exported() {
+			continue
+		}
+		val := c.Val().ExactString()
+		if _, dup := byVal[val]; dup {
+			continue // aliases collapse onto the first-seen name
+		}
+		byVal[val] = name
+		out[name] = val
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath forbids allocating constructs in functions annotated //nic:hotpath
+// (per-tick methods, observability recorder writes, event-heap operations):
+// append, fmt calls, function literals (closures), map and slice composite
+// literals, make, new, and interface boxing of non-pointer values.
+//
+// The check is intra-procedural: a hot-path function calling an unannotated
+// allocating helper is not caught, so annotate the helpers too. Acknowledged
+// allocation sites — amortized ring growth, formatting on a cold panic
+// branch — carry a line-level //nic:alloc.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in //nic:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDocHas(fd, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	report := func(n ast.Node, format string, args ...any) {
+		if !pass.LineHas(n.Pos(), "alloc") {
+			pass.Reportf(n.Pos(), format, args...)
+		}
+	}
+	sig, _ := pass.TypeOf(fd.Name).(*types.Signature)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n, report)
+		case *ast.FuncLit:
+			report(n, "function literal in hot path allocates a closure")
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n, "map literal in hot path allocates")
+			case *types.Slice:
+				report(n, "slice literal in hot path allocates")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					checkBoxing(pass, pass.TypeOf(n.Lhs[i]), n.Rhs[i], report)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				for _, v := range n.Values {
+					checkBoxing(pass, pass.TypeOf(n.Type), v, report)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					checkBoxing(pass, sig.Results().At(i).Type(), res, report)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	switch {
+	case pass.isBuiltin(call, "append"):
+		report(call, "append in hot path may grow and allocate; use a preallocated ring or annotate amortized growth //nic:alloc")
+		return
+	case pass.isBuiltin(call, "make"):
+		report(call, "make in hot path allocates")
+		return
+	case pass.isBuiltin(call, "new"):
+		report(call, "new in hot path allocates")
+		return
+	}
+	fn := pass.CalleeFunc(call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call, "fmt.%s in hot path allocates (boxes arguments and builds a string)", fn.Name())
+		return
+	}
+	// Interface boxing at call arguments.
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions box nothing by themselves
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, pt, arg, report)
+	}
+}
+
+// checkBoxing reports when a concrete non-pointer-shaped value converts to an
+// interface type — the conversion copies the value to the heap.
+func checkBoxing(pass *Pass, dst types.Type, src ast.Expr, report func(ast.Node, string, ...any)) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[src]
+	if !ok || tv.Type == nil || tv.Value != nil { // constants fold to static data
+		return
+	}
+	st := tv.Type
+	if types.IsInterface(st) || pointerShaped(st) {
+		return
+	}
+	if b, ok := st.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	report(src, "interface boxing of %s in hot path allocates", types.TypeString(st, types.RelativeTo(pass.Pkg.Types)))
+}
+
+// pointerShaped reports whether values of the type are stored directly in an
+// interface word without allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+const fixtures = "testdata/src"
+
+func TestDetlintFixtures(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Detlint, "fixture/detlint")
+}
+
+func TestDetlintImplicitInternal(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Detlint, "fixture/internal/implicit")
+}
+
+func TestHotpathFixtures(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Hotpath, "fixture/hotpath")
+}
+
+func TestUnitlintFixtures(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Unitlint, "fixture/unitlint")
+}
+
+func TestExhaustiveFixtures(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Exhaustive, "fixture/exhaustive")
+}
+
+// TestTreeClean runs the full suite over the repository and requires zero
+// findings, mirroring CI's niclint step.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree analysis skipped in -short mode")
+	}
+	prog, err := lint.NewProgram(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := prog.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,71 @@
+// Package detlint is a fixture exercising the determinism analyzer: it opts
+// in by directive rather than import path.
+//
+//nic:deterministic
+package detlint
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallclock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func sanctioned() time.Time {
+	return time.Now() //nic:wallclock fixture's sanctioned profiling site
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time\.Since reads the wall clock`
+}
+
+func unseeded() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the global source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func printOrder(m map[string]int) {
+	for k := range m { // want `range over map feeds ordered output through fmt\.Println`
+		fmt.Println(k)
+	}
+}
+
+func accumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map accumulates into a slice with no sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func dumpUnordered(m map[string]int) {
+	//nic:unordered debug dump whose order is irrelevant by design
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func tally(m map[string]int) int {
+	total := 0
+	for _, v := range m { // summation never reaches ordered output
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,73 @@
+// Package exhaustive is a fixture exercising the enum-exhaustiveness
+// analyzer.
+package exhaustive
+
+// State is a tracked enum.
+//
+//nic:exhaustive
+type State uint8
+
+// States.
+const (
+	Idle State = iota
+	Run
+	Halt
+)
+
+// Done aliases Halt; aliases collapse to one required case.
+const Done = Halt
+
+// Loose is an unannotated enum: switches over it are unchecked.
+type Loose uint8
+
+// Loose values.
+const (
+	A Loose = iota
+	B
+)
+
+func full(s State) int {
+	switch s { // covered fully, naming Halt through its alias
+	case Idle:
+		return 0
+	case Run:
+		return 1
+	case Done:
+		return 2
+	}
+	return -1
+}
+
+func missing(s State) int {
+	switch s { // want `switch over State misses constants: Halt`
+	case Idle, Run:
+		return 0
+	}
+	return -1
+}
+
+func defaulted(s State) int {
+	switch s { // a default clause handles future constants by construction
+	case Idle:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func optedOut(s State) int {
+	//nic:nonexhaustive only Idle matters to this helper
+	switch s {
+	case Idle:
+		return 0
+	}
+	return 1
+}
+
+func unannotated(l Loose) int {
+	switch l {
+	case A:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,67 @@
+// Package hotpath is a fixture exercising the hot-path allocation analyzer.
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf  []uint64
+	head int
+}
+
+// cold is unannotated: anything goes.
+func cold(xs []int) []int {
+	return append(xs, 1)
+}
+
+// push is hot and clean: index writes into a preallocated ring.
+//
+//nic:hotpath
+func push(r *ring, v uint64) {
+	r.buf[r.head%len(r.buf)] = v
+	r.head++
+}
+
+//nic:hotpath
+func grow(xs []int, v int) []int {
+	return append(xs, v) // want `append in hot path may grow`
+}
+
+//nic:hotpath
+func format(v int) {
+	fmt.Println(v) // want `fmt\.Println in hot path allocates`
+}
+
+//nic:hotpath
+func capture(v int) func() int {
+	return func() int { return v } // want `function literal in hot path allocates a closure`
+}
+
+//nic:hotpath
+func literal() map[string]int {
+	return map[string]int{"a": 1} // want `map literal in hot path allocates`
+}
+
+//nic:hotpath
+func makes() []int {
+	return make([]int, 8) // want `make in hot path allocates`
+}
+
+//nic:hotpath
+func box(v int) any {
+	return v // want `interface boxing of int in hot path allocates`
+}
+
+//nic:hotpath
+func boxConst() any {
+	return 42 // constants fold to static data: no allocation
+}
+
+//nic:hotpath
+func boxPointer(p *ring) any {
+	return p // pointer-shaped values fit the interface word directly
+}
+
+//nic:hotpath
+func amortized(xs []uint64, v uint64) []uint64 {
+	return append(xs, v) //nic:alloc growth amortizes across the run
+}

@@ -1,0 +1,9 @@
+// Package implicit sits under the module's internal tree, so detlint applies
+// by import path with no //nic:deterministic directive.
+package implicit
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

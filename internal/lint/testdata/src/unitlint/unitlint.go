@@ -1,0 +1,46 @@
+// Package unitlint is a fixture exercising the unit-safety analyzer.
+package unitlint
+
+// Picos is simulated time.
+//
+//nic:unit ps
+type Picos uint64
+
+// Cycles counts clock edges.
+//
+//nic:unit cyc
+type Cycles uint64
+
+const period Picos = 5000
+
+func bad(c Cycles) Picos {
+	return Picos(c) // want `conversion from Cycles \(cyc\) to Picos \(ps\) mixes units`
+}
+
+func viaRate(c Cycles) Picos {
+	return Picos(c) * period //nic:unitconv cycles scale by the domain period
+}
+
+func sameDim(p Picos) Picos {
+	return Picos(p) // same dimension: harmless identity conversion
+}
+
+func stripped(p Picos) uint64 {
+	return uint64(p) // dropping to a plain number is always explicit enough
+}
+
+func mulUnits(a, b Picos) Picos {
+	return a * b // want `multiplying two unit quantities \(ps × ps\)`
+}
+
+func mulByConst(p Picos) Picos {
+	return p * 3 // untyped constant factor is dimensionless
+}
+
+func mulByConverted(k uint64, p Picos) Picos {
+	return Picos(k) * p // conversion from a plain number asserts a scalar
+}
+
+func ratio(a, b Picos) uint64 {
+	return uint64(a / b) // same-dimension division is a pure ratio
+}

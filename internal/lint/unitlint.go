@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unitlint enforces unit safety over types annotated //nic:unit <dimension>
+// (picosecond time, cycle counts, byte and frame quantities):
+//
+//   - converting a value of one unit type directly to a differently
+//     dimensioned unit type is forbidden — a cycle count is not a number of
+//     picoseconds; conversion goes through a rate or period helper whose
+//     conversion line carries //nic:unitconv;
+//   - multiplying two unit-typed quantities is forbidden — ps·ps is not a
+//     time. Scalar scaling stays legal because an explicit conversion from a
+//     plain number (Picoseconds(k) * period) or an untyped constant marks
+//     the operand as dimensionless.
+//
+// Addition, subtraction, comparison, and same-dimension division (a pure
+// ratio) remain legal; the Go type system already rejects cross-unit
+// arithmetic without a conversion, which is exactly the event this analyzer
+// inspects.
+var Unitlint = &Analyzer{
+	Name: "unitlint",
+	Doc:  "forbid cross-unit conversions and unit-by-unit multiplication of //nic:unit types",
+	Run:  runUnitlint,
+}
+
+func runUnitlint(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkUnitConversion(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.MUL {
+					checkUnitMul(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUnitConversion flags T(x) where T and x carry different unit
+// dimensions.
+func checkUnitConversion(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dstDim := pass.Prog.UnitDim(tv.Type)
+	if dstDim == "" {
+		return
+	}
+	srcT := pass.TypeOf(call.Args[0])
+	if srcT == nil {
+		return
+	}
+	srcDim := pass.Prog.UnitDim(srcT)
+	if srcDim == "" || srcDim == dstDim {
+		return
+	}
+	if pass.LineHas(call.Pos(), "unitconv") {
+		return
+	}
+	pass.Reportf(call.Pos(), "conversion from %s (%s) to %s (%s) mixes units; convert through an explicit rate helper (//nic:unitconv)",
+		typeName(srcT), srcDim, typeName(tv.Type), dstDim)
+}
+
+// checkUnitMul flags x*y where both operands are non-constant unit
+// quantities and neither is an explicit conversion asserting a scalar.
+func checkUnitMul(pass *Pass, bin *ast.BinaryExpr) {
+	xd, xs := unitOperand(pass, bin.X)
+	yd, ys := unitOperand(pass, bin.Y)
+	if xd == "" || yd == "" || xs || ys {
+		return
+	}
+	if pass.LineHas(bin.Pos(), "unitconv") {
+		return
+	}
+	pass.Reportf(bin.Pos(), "multiplying two unit quantities (%s × %s); one factor must be a dimensionless scalar (explicit conversion or constant)", xd, yd)
+}
+
+// unitOperand returns the operand's unit dimension and whether the operand is
+// scalar-asserted: a constant expression, or an explicit conversion from a
+// non-unit type.
+func unitOperand(pass *Pass, e ast.Expr) (dim string, scalar bool) {
+	e = ast.Unparen(e)
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	dim = pass.Prog.UnitDim(tv.Type)
+	if dim == "" {
+		return "", false
+	}
+	if tv.Value != nil {
+		return dim, true
+	}
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if ftv, ok := pass.Pkg.Info.Types[call.Fun]; ok && ftv.IsType() {
+			if pass.Prog.UnitDim(pass.TypeOf(call.Args[0])) == "" {
+				return dim, true
+			}
+		}
+	}
+	return dim, false
+}
+
+// typeName renders a type without package qualification noise.
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

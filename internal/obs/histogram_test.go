@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/sim"
@@ -76,5 +78,42 @@ func TestHistogramReset(t *testing.T) {
 	h.Add(3)
 	if h.N() != 1 || h.Quantile(0.5) != 3 {
 		t.Errorf("histogram unusable after Reset: N=%d p50=%d", h.N(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramInterleavedAddQuantile(t *testing.T) {
+	// Interleave Add and Quantile so every query hits a store dirtied since
+	// the previous sort; each answer must match a freshly sorted reference.
+	var h Histogram
+	var ref []sim.Picoseconds
+	quantile := func(q float64) sim.Picoseconds {
+		s := append([]sim.Picoseconds(nil), ref...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		idx := int(math.Ceil(q*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	// A deterministic scatter: values jump around so later batches land below
+	// earlier ones and a stale sort would surface immediately.
+	v := sim.Picoseconds(12345)
+	for batch := 0; batch < 50; batch++ {
+		for i := 0; i < 7; i++ {
+			v = (v*6364136223846793005 + 1442695040888963407) % 100000
+			h.Add(v)
+			ref = append(ref, v)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if got, want := h.Quantile(q), quantile(q); got != want {
+				t.Fatalf("batch %d: Quantile(%v) = %d, want %d", batch, q, got, want)
+			}
+		}
+	}
+	if got, want := h.N(), uint64(len(ref)); got != want {
+		t.Fatalf("N() = %d, want %d", got, want)
 	}
 }

@@ -84,6 +84,11 @@ func StageName(dir Dir, stage int) string {
 	return recvStageNames[stage]
 }
 
+// evKind discriminates trace-ring entries. Switches over evKind are checked
+// by niclint's exhaustive analyzer: a new kind must be handled by every
+// serializer or explicitly opted out.
+//
+//nic:exhaustive
 type evKind uint8
 
 const (
@@ -173,6 +178,8 @@ func (r *Recorder) AddTrack(name string) int32 {
 func (r *Recorder) SetFrameTrack(dir Dir, track int32) { r.frameTrack[dir] = track }
 
 // record appends one event to the keep-last ring.
+//
+//nic:hotpath
 func (r *Recorder) record(ev event) {
 	r.ring[r.head%uint64(len(r.ring))] = ev
 	r.head++
@@ -180,6 +187,8 @@ func (r *Recorder) record(ev event) {
 
 // Begin opens a duration span (a stream picked up by a core, a frame going
 // onto a MAC wire) on a track.
+//
+//nic:hotpath
 func (r *Recorder) Begin(track int32, name string) {
 	if r == nil {
 		return
@@ -188,6 +197,8 @@ func (r *Recorder) Begin(track int32, name string) {
 }
 
 // End closes the innermost open span on a track.
+//
+//nic:hotpath
 func (r *Recorder) End(track int32, name string) {
 	if r == nil {
 		return
@@ -196,6 +207,8 @@ func (r *Recorder) End(track int32, name string) {
 }
 
 // Instant marks a point event (fault injections) on a track.
+//
+//nic:hotpath
 func (r *Recorder) Instant(track int32, name string) {
 	if r == nil {
 		return
@@ -204,6 +217,8 @@ func (r *Recorder) Instant(track int32, name string) {
 }
 
 // Counter records a counter value change (DMA jobs in flight) on a track.
+//
+//nic:hotpath
 func (r *Recorder) Counter(track int32, name string, val int) {
 	if r == nil {
 		return
@@ -215,6 +230,8 @@ func (r *Recorder) Counter(track int32, name string, val int) {
 // index: a send frame posted by the host driver, a receive frame fully
 // arrived at the MAC. Origins are consumed in FIFO order by the direction's
 // first indexed stage (frames acquire indices in origin order on both paths).
+//
+//nic:hotpath
 func (r *Recorder) FrameOrigin(dir Dir) {
 	if r == nil {
 		return
@@ -225,6 +242,8 @@ func (r *Recorder) FrameOrigin(dir Dir) {
 // FrameStage timestamps one lifecycle stage of frame seq. The direction's
 // stage 1 claims the frame's latency slot and pops its origin timestamp; the
 // final stage folds the frame into the latency histograms.
+//
+//nic:hotpath
 func (r *Recorder) FrameStage(dir Dir, stage int, seq uint64) {
 	if r == nil {
 		return

@@ -41,6 +41,8 @@ import (
 )
 
 // Picoseconds is the unit of simulated time.
+//
+//nic:unit ps
 type Picoseconds uint64
 
 const (
@@ -173,8 +175,10 @@ func eventLess(a, b *schedEvent) bool {
 }
 
 // pushEvent inserts into the min-heap.
+//
+//nic:hotpath
 func (d *Domain) pushEvent(ev schedEvent) {
-	d.events = append(d.events, ev)
+	d.events = append(d.events, ev) //nic:alloc heap growth amortizes; steady state reuses capacity
 	i := len(d.events) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -187,6 +191,8 @@ func (d *Domain) pushEvent(ev schedEvent) {
 }
 
 // popEvent removes and returns the heap minimum.
+//
+//nic:hotpath
 func (d *Domain) popEvent() schedEvent {
 	top := d.events[0]
 	n := len(d.events) - 1
@@ -215,6 +221,8 @@ func (d *Domain) popEvent() schedEvent {
 // runEvents fires every scheduled event due at or before now, in (time,
 // schedule-order) order. Callbacks may schedule further events, including at
 // the current instant.
+//
+//nic:hotpath
 func (d *Domain) runEvents(now Picoseconds) {
 	for len(d.events) > 0 && d.events[0].at <= now {
 		ev := d.popEvent()
@@ -253,6 +261,8 @@ func (d *Domain) Add(t Ticker) {
 }
 
 // tick runs one cycle of a clocked domain.
+//
+//nic:hotpath
 func (d *Domain) tick() {
 	c := d.cycle
 	for _, t := range d.tickers {
@@ -264,6 +274,8 @@ func (d *Domain) tick() {
 
 // skipIdle advances the domain across k quiescent cycles without ticking,
 // applying each ticker's bookkeeping compensation.
+//
+//nic:hotpath
 func (d *Domain) skipIdle(k uint64) {
 	for _, s := range d.skippers {
 		if s != nil {
@@ -468,11 +480,11 @@ func (e *Engine) buildSched() {
 	for k < len(e.clocked) && k < 32 {
 		d := e.clocked[k]
 		g := gcd(h, d.period)
-		l := h / g
-		if uint64(l) > uint64(NoEdge)/uint64(d.period) {
+		l := uint64(h / g) // dimensionless: how many d.period fit the lcm
+		if l > uint64(NoEdge)/uint64(d.period) {
 			break // hyperperiod overflows; keep the shorter prefix
 		}
-		h2 := l * d.period
+		h2 := Picoseconds(l) * d.period
 		if edgesFor(h2, k+1) > maxSchedEntries {
 			break
 		}
@@ -533,7 +545,8 @@ func (e *Engine) resyncSched() {
 		return
 	}
 	rel := t - e.schedBase
-	e.schedBase += rel / e.hyper * e.hyper
+	windows := uint64(rel / e.hyper) // dimensionless: whole hyperperiods skipped
+	e.schedBase += Picoseconds(windows) * e.hyper
 	rel = t - e.schedBase
 	if rel == 0 { // t lands exactly on a base: it is the final entry of the previous window
 		e.schedBase -= e.hyper
@@ -559,6 +572,8 @@ func (e *Engine) minEventNext() Picoseconds {
 // Step advances simulated time to the next clock edge of any domain and ticks
 // every domain whose edge falls on that instant, in registration order.
 // It reports whether any work was done (false when no domains exist).
+//
+//nic:hotpath
 func (e *Engine) Step() bool {
 	if e.schedDirty {
 		e.buildSched()
@@ -612,6 +627,8 @@ func (e *Engine) Step() bool {
 // stepGeneric is the fallback step: an allocation-free min-scan over every
 // domain. Simultaneous edges run in registration order because e.domains is
 // in registration order.
+//
+//nic:hotpath
 func (e *Engine) stepGeneric() bool {
 	if len(e.domains) == 0 {
 		return false
@@ -641,7 +658,7 @@ func (e *Engine) stepGeneric() bool {
 		}
 		var t0 time.Time
 		if e.profiling {
-			t0 = time.Now()
+			t0 = time.Now() //nic:wallclock profiling measures real per-domain cost
 		}
 		if d.eventDriven {
 			d.runEvents(next)
@@ -651,7 +668,7 @@ func (e *Engine) stepGeneric() bool {
 		}
 		if e.profiling {
 			c := &e.costs[d.order]
-			c.wall += int64(time.Since(t0))
+			c.wall += int64(time.Since(t0)) //nic:wallclock
 			c.ticks++
 		}
 	}

@@ -13,6 +13,7 @@ package smpcache
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -248,7 +249,15 @@ func (s *Sim) CheckInvariants() error {
 			}
 		}
 	}
-	for line, procs := range owners {
+	// Report violations in line order so a failing run names the same line
+	// every time (map iteration would pick an arbitrary one).
+	lines := make([]uint32, 0, len(owners))
+	for line := range owners {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		procs := owners[line]
 		if len(procs) > 1 {
 			return fmt.Errorf("line %#x exclusively owned by caches %v", line, procs)
 		}

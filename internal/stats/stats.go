@@ -69,12 +69,16 @@ type Histogram struct {
 	max    uint64
 }
 
-// NewHistogram creates a histogram with the given sorted bucket upper bounds.
-// A sample s lands in the first bucket with s <= bound; samples above every
-// bound land in a final overflow bucket.
+// NewHistogram creates a histogram with the given strictly increasing bucket
+// upper bounds. A sample s lands in the first bucket with s <= bound; samples
+// above every bound land in a final overflow bucket. Unsorted or duplicate
+// bounds panic: a duplicate bound is a bucket that can never receive a sample,
+// which is always a spec mistake.
 func NewHistogram(bounds ...uint64) *Histogram {
-	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
-		panic("stats: histogram bounds must be sorted")
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
 	}
 	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }

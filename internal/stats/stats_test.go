@@ -104,3 +104,48 @@ func TestHistogramCountPropertyTotalsMatch(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramDuplicateBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with duplicate bounds did not panic")
+		}
+	}()
+	// A duplicate bound would create a bucket no sample can ever land in.
+	NewHistogram(1, 10, 10, 20)
+}
+
+func TestHistogramNoBounds(t *testing.T) {
+	// Zero bounds is legal: a single overflow bucket counting everything.
+	h := NewHistogram()
+	if got := h.Buckets(); got != 1 {
+		t.Fatalf("Buckets() = %d, want 1", got)
+	}
+	for _, s := range []uint64{0, 7, 1 << 40} {
+		h.Observe(s)
+	}
+	if got := h.Bucket(0); got != 3 {
+		t.Errorf("Bucket(0) = %d, want 3", got)
+	}
+	if got := h.Max(); got != 1<<40 {
+		t.Errorf("Max() = %d, want %d", got, uint64(1)<<40)
+	}
+}
+
+func TestHistogramBoundaryLanding(t *testing.T) {
+	// A sample equal to a bound lands in that bound's bucket, one above it in
+	// the next.
+	h := NewHistogram(10, 20)
+	h.Observe(10)
+	h.Observe(11)
+	h.Observe(21)
+	if got := h.Bucket(0); got != 1 {
+		t.Errorf("Bucket(0) = %d, want 1", got)
+	}
+	if got := h.Bucket(1); got != 1 {
+		t.Errorf("Bucket(1) = %d, want 1", got)
+	}
+	if got := h.Bucket(2); got != 1 {
+		t.Errorf("overflow Bucket(2) = %d, want 1", got)
+	}
+}

@@ -165,9 +165,9 @@ func (r *Runner) cached(hash string) (Result, bool) {
 // runOne executes a single job with timeout and panic isolation.
 func (r *Runner) runOne(ctx context.Context, job Job) (res Result) {
 	res = Result{ID: job.ID, Hash: job.Spec.Hash(), Spec: job.Spec}
-	start := time.Now()
+	start := time.Now() //nic:wallclock ElapsedSec reports real job duration
 	defer func() {
-		res.ElapsedSec = time.Since(start).Seconds()
+		res.ElapsedSec = time.Since(start).Seconds() //nic:wallclock
 		if p := recover(); p != nil {
 			res.Report, res.Aux = nil, nil
 			res.Err = fmt.Sprintf("panic: %v\n%s", p, debug.Stack())

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -100,7 +101,8 @@ func (s *Store) Put(r Result) error {
 	return nil
 }
 
-// Results returns all cached results (unordered across hashes).
+// Results returns all cached results, ordered by ID then hash so callers
+// that render or serialize the set produce identical output on every run.
 func (s *Store) Results() []Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -108,6 +110,12 @@ func (s *Store) Results() []Result {
 	for _, r := range s.byHash {
 		out = append(out, r)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Hash < out[j].Hash
+	})
 	return out
 }
 
