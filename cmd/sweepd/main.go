@@ -1,0 +1,233 @@
+// sweepd is the distributed sweep fabric's daemon, in either of two roles:
+//
+// Coordinator (default): owns the job queue and the result store, serves
+// the fleet HTTP/JSON API, and shards work across whatever workers connect.
+//
+//	sweepd -listen 127.0.0.1:8731 -out results/
+//	sweepd -listen 127.0.0.1:8731 -out results/ -resume -suite figure7 -quick
+//
+// Worker: connects to a coordinator, leases jobs, simulates them through
+// the same experiments path a local sweep uses, and reports completions.
+//
+//	sweepd -worker -connect http://127.0.0.1:8731 -name w1 -parallel 4
+//
+// Clients (cmd/nicbench -fleet URL) submit job grids and collect results;
+// the coordinator dedups identical configuration points fleet-wide by spec
+// hash, re-queues jobs whose workers crash or hang (lease expiry, bounded
+// retries), and persists results in batches to the same resumable
+// results.jsonl format local sweeps write. GET /v1/status and /v1/metrics
+// expose the queue gauge and flat counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/sweep"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		worker   = flag.Bool("worker", false, "run as a worker instead of a coordinator")
+		connect  = flag.String("connect", "", "coordinator base URL (worker mode)")
+		name     = flag.String("name", "", "worker name (default w<pid>)")
+		parallel = flag.Int("parallel", 0, "concurrent job slots per worker (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-job timeout on the worker (0 = none)")
+
+		listen   = flag.String("listen", "127.0.0.1:8731", "coordinator listen address (host:port; port 0 picks one)")
+		outDir   = flag.String("out", "", "directory for the JSONL result store (empty = in-memory, lost at exit)")
+		resume   = flag.Bool("resume", false, "serve results already in -out instead of starting fresh")
+		leaseTTL = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "how long a worker holds a job before it is re-queued")
+		retries  = flag.Int("retries", fleet.DefaultMaxRetries, "re-executions allowed per job after its first attempt")
+		batch    = flag.Int("batch", fleet.DefaultBatchSize, "results per store flush")
+		flush    = flag.Duration("flush", fleet.DefaultFlushInterval, "max time a completed result stays unflushed")
+		suites   = flag.String("suite", "", "comma-separated suite keys to preload into the queue (see nicbench -list)")
+		all      = flag.Bool("all", false, "preload every suite")
+		quick    = flag.Bool("quick", false, "preload with the quick budget")
+	)
+	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	if *worker {
+		return runWorker(ctx, *connect, *name, *parallel, *timeout)
+	}
+	return runCoordinator(ctx, coordOpts{
+		listen: *listen, outDir: *outDir, resume: *resume,
+		leaseTTL: *leaseTTL, retries: *retries, batch: *batch, flush: *flush,
+		suites: *suites, all: *all, quick: *quick,
+	})
+}
+
+func runWorker(ctx context.Context, connect, name string, parallel int, timeout time.Duration) int {
+	if connect == "" {
+		fmt.Fprintln(os.Stderr, "sweepd: -worker requires -connect URL")
+		return 2
+	}
+	if name == "" {
+		name = fmt.Sprintf("w%d", os.Getpid())
+	}
+	w := &fleet.Worker{
+		Base:     strings.TrimRight(connect, "/"),
+		Name:     name,
+		Run:      experiments.Simulate,
+		Parallel: parallel,
+		Timeout:  timeout,
+		OnResult: func(r sweep.Result) {
+			status := "ok"
+			if !r.OK() {
+				status = "FAILED: " + firstLine(r.Err)
+			}
+			fmt.Fprintf(os.Stderr, "sweepd[%s]: %s %.2fs %s\n", name, r.ID, r.ElapsedSec, status)
+		},
+	}
+	fmt.Fprintf(os.Stderr, "sweepd[%s]: working for %s\n", name, w.Base)
+	if err := w.Serve(ctx); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+	return 0
+}
+
+type coordOpts struct {
+	listen, outDir, suites string
+	resume, all, quick     bool
+	leaseTTL, flush        time.Duration
+	retries, batch         int
+}
+
+func runCoordinator(ctx context.Context, o coordOpts) int {
+	backend, err := openBackend(o.outDir, o.resume)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Backend:       backend,
+		LeaseTTL:      o.leaseTTL,
+		MaxRetries:    o.retries,
+		BatchSize:     o.batch,
+		FlushInterval: o.flush,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+
+	if n, err := preload(coord, o.suites, o.all, o.quick); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 2
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "sweepd: preloaded %d job(s)\n", n)
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: coordinating on http://%s (store: %s)\n", ln.Addr(), storeDesc(o.outDir))
+
+	srv := &http.Server{Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		coord.Close()
+		return 1
+	}
+
+	// Graceful shutdown: stop accepting, flush the batcher, close the store.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(sctx)
+	if err := coord.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd: close:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "sweepd: shut down cleanly")
+	return 0
+}
+
+// openBackend picks the result store: a resumable JSONL file under -out,
+// or memory for ephemeral runs.
+func openBackend(outDir string, resume bool) (fleet.Backend, error) {
+	if outDir == "" {
+		return fleet.NewMemBackend(), nil
+	}
+	path := filepath.Join(outDir, sweep.StoreFileName)
+	if !resume {
+		// A fresh fleet must not silently serve a previous run's points.
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return fleet.OpenJSONL(path)
+}
+
+// preload enqueues suite job grids so a fleet can run without any client.
+func preload(coord *fleet.Coordinator, suiteList string, all, quick bool) (int, error) {
+	b := experiments.Full
+	if quick {
+		b = experiments.Quick
+	}
+	want := map[string]bool{}
+	if all {
+		for _, s := range experiments.Suites() {
+			want[s.Key] = true
+		}
+	}
+	for _, k := range strings.Split(suiteList, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		if _, ok := experiments.SuiteByKey(k); !ok {
+			return 0, fmt.Errorf("unknown suite %q (see nicbench -list)", k)
+		}
+		want[k] = true
+	}
+	var jobs []sweep.Job
+	for _, s := range experiments.Suites() {
+		if want[s.Key] {
+			jobs = append(jobs, s.Jobs(b)...)
+		}
+	}
+	if len(jobs) == 0 {
+		return 0, nil
+	}
+	resp := coord.Submit(jobs)
+	return resp.Accepted, nil
+}
+
+func storeDesc(outDir string) string {
+	if outDir == "" {
+		return "memory"
+	}
+	return filepath.Join(outDir, sweep.StoreFileName)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

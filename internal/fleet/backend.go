@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sweep"
+)
+
+// Backend is the pluggable result persistence behind a Coordinator. The
+// JSONL store satisfies it today; the interface is the seam where a SQL or
+// object-store backend plugs in later without touching the coordinator,
+// batcher, or protocol.
+//
+// PutBatch must be atomic enough to retry: on error, none of the batch's
+// results may be half-indexed. Get and Results must only return results
+// that PutBatch durably accepted.
+type Backend interface {
+	// Get returns the stored result for a spec hash.
+	Get(hash string) (sweep.Result, bool)
+	// PutBatch durably appends a batch of successful results, skipping
+	// hashes already present.
+	PutBatch(rs []sweep.Result) error
+	// Results returns all stored results ordered by ID then hash.
+	Results() []sweep.Result
+	// Len returns the number of stored results.
+	Len() int
+	// Close releases the backend; stored results must survive it.
+	Close() error
+}
+
+// The JSONL store is the reference backend.
+var _ Backend = (*sweep.Store)(nil)
+
+// OpenJSONL opens (creating if needed) a JSONL-file backend at path — the
+// same resumable results.jsonl format local sweeps write, so a fleet run
+// and a local run are interchangeable on disk.
+func OpenJSONL(path string) (Backend, error) {
+	return sweep.OpenStore(path)
+}
+
+// MemBackend is an in-memory Backend for ephemeral coordinators and tests.
+// A nil-value MemBackend is not usable; construct with NewMemBackend.
+type MemBackend struct {
+	mu     sync.Mutex
+	byHash map[string]sweep.Result
+	// FailPuts, when set, makes PutBatch fail — a test hook for the
+	// store-error accounting path.
+	FailPuts error
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{byHash: map[string]sweep.Result{}}
+}
+
+// Get returns the stored result for a spec hash.
+func (m *MemBackend) Get(hash string) (sweep.Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.byHash[hash]
+	return r, ok
+}
+
+// PutBatch stores successful results, skipping hashes already present.
+func (m *MemBackend) PutBatch(rs []sweep.Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.FailPuts != nil {
+		return m.FailPuts
+	}
+	for _, r := range rs {
+		if !r.OK() {
+			continue
+		}
+		if _, ok := m.byHash[r.Hash]; ok {
+			continue
+		}
+		m.byHash[r.Hash] = r
+	}
+	return nil
+}
+
+// Results returns all stored results ordered by ID then hash.
+func (m *MemBackend) Results() []sweep.Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]sweep.Result, 0, len(m.byHash))
+	for _, r := range m.byHash {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// Len returns the number of stored results.
+func (m *MemBackend) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byHash)
+}
+
+// Close is a no-op; memory backends hold nothing external.
+func (m *MemBackend) Close() error { return nil }

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// ErrBatcherClosed is returned by Put and Flush after Close.
+var ErrBatcherClosed = errors.New("fleet: batcher closed")
+
+// Batcher sits between the coordinator and its Backend and turns a stream
+// of single-result completions into batched, durable writes: a batch
+// flushes when it reaches Size results or when Interval elapses, whichever
+// comes first. Against the JSONL backend that collapses per-result
+// write+fsync pairs into one write and one fsync per batch — the flush-on-
+// size-or-deadline shape — while bounding how long a completed result can
+// sit volatile.
+//
+// A failed flush keeps its batch buffered and retries on the next trigger
+// (Backend.PutBatch rolls back cleanly), surfacing the failure through the
+// store-error counter, so a transient disk error degrades durability
+// latency rather than losing results.
+type Batcher struct {
+	backend  Backend
+	metrics  *Metrics
+	size     int
+	interval time.Duration
+
+	ch       chan sweep.Result
+	flushReq chan chan error
+	done     chan struct{}
+	stopped  chan struct{}
+	once     sync.Once
+	lastErr  error // written only by loop; read after stopped closes
+}
+
+// Batching defaults; NewBatcher applies them to zero parameters.
+const (
+	DefaultBatchSize     = 64
+	DefaultFlushInterval = 200 * time.Millisecond
+)
+
+// NewBatcher starts a batcher in front of backend. size <= 0 and
+// interval <= 0 select the defaults. metrics may be nil.
+func NewBatcher(backend Backend, size int, interval time.Duration, metrics *Metrics) *Batcher {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	if interval <= 0 {
+		interval = DefaultFlushInterval
+	}
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	b := &Batcher{
+		backend:  backend,
+		metrics:  metrics,
+		size:     size,
+		interval: interval,
+		ch:       make(chan sweep.Result, 4*size),
+		flushReq: make(chan chan error),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Put enqueues one result for batched persistence. It blocks only when the
+// batcher is saturated (backpressure toward the completing worker), and
+// fails only after Close.
+func (b *Batcher) Put(r sweep.Result) error {
+	// Checked first: ch is buffered, so after Close a bare send could still
+	// succeed and silently drop the result into a dead loop.
+	select {
+	case <-b.stopped:
+		return ErrBatcherClosed
+	default:
+	}
+	select {
+	case b.ch <- r:
+		return nil
+	case <-b.stopped:
+		return ErrBatcherClosed
+	}
+}
+
+// Flush synchronously persists everything Put before the call and returns
+// the flush's error. A nil return means every prior result is durable.
+func (b *Batcher) Flush() error {
+	ack := make(chan error, 1)
+	select {
+	case b.flushReq <- ack:
+		select {
+		case err := <-ack:
+			return err
+		case <-b.stopped:
+			return b.lastErr
+		}
+	case <-b.stopped:
+		return ErrBatcherClosed
+	}
+}
+
+// Close flushes the remaining buffer and stops the batcher. The backend is
+// not closed — the owner does that. Close returns the final flush's error.
+func (b *Batcher) Close() error {
+	b.once.Do(func() { close(b.done) })
+	<-b.stopped
+	return b.lastErr
+}
+
+func (b *Batcher) loop() {
+	defer close(b.stopped)
+	var buf []sweep.Result
+	timer := time.NewTimer(b.interval) //nic:wallclock flush deadline is real time by design
+	defer timer.Stop()
+
+	flush := func(trigger string) error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := b.backend.PutBatch(buf)
+		b.metrics.Add(MBatchFlushes, 1)
+		if trigger != "" {
+			b.metrics.Add(trigger, 1)
+		}
+		if err != nil {
+			// Keep the batch; the next trigger retries it.
+			b.metrics.Add(MStoreErrors, 1)
+			b.lastErr = err
+			return err
+		}
+		b.metrics.Add(MBatchResults, int64(len(buf)))
+		b.lastErr = nil
+		buf = buf[:0]
+		return nil
+	}
+	// drain moves everything already sent on ch into the buffer, so a
+	// flush request observes every Put that happened before it.
+	drain := func() {
+		for {
+			select {
+			case r := <-b.ch:
+				buf = append(buf, r)
+			default:
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case r := <-b.ch:
+			buf = append(buf, r)
+			if len(buf) >= b.size {
+				flush(MBatchFlushSize)
+			}
+		case <-timer.C:
+			flush(MBatchFlushDeadline)
+			timer.Reset(b.interval)
+		case ack := <-b.flushReq:
+			drain()
+			ack <- flush("") // explicit flush; neither trigger counter
+		case <-b.done:
+			drain()
+			flush("")
+			return
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// fres fabricates a successful result for fleet-test grid point i.
+func fres(i int) sweep.Result {
+	spec := sweep.Spec{Kind: sweep.KindNIC, Cores: i + 1, MHz: 200, Banks: 4, UDPSize: 1472, Ordering: "sw", Parallelism: "frame"}
+	r := &core.Report{TotalGbps: float64(spec.Cores) * spec.MHz / 100, IPC: 0.7}
+	r.Cfg.Cores = spec.Cores
+	return sweep.Result{ID: fmt.Sprintf("fleet/c%d", i+1), Hash: spec.Hash(), Spec: spec, Report: r}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second) //nic:wallclock test polling deadline
+	for !cond() {
+		if time.Now().After(deadline) { //nic:wallclock test polling deadline
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond) //nic:wallclock test polling pace
+	}
+}
+
+func TestBatcherFlushesOnSize(t *testing.T) {
+	mem := NewMemBackend()
+	m := NewMetrics()
+	b := NewBatcher(mem, 2, time.Hour, m) // the deadline never fires in-test
+	defer b.Close()
+	for i := 0; i < 4; i++ {
+		if err := b.Put(fres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "size-triggered flushes", func() bool { return mem.Len() == 4 })
+	if got := m.Get(MBatchFlushSize); got < 2 {
+		t.Errorf("size-triggered flushes = %d, want >= 2", got)
+	}
+	if got := m.Get(MBatchFlushDeadline); got != 0 {
+		t.Errorf("deadline flushes = %d, want 0", got)
+	}
+}
+
+func TestBatcherFlushesOnDeadline(t *testing.T) {
+	mem := NewMemBackend()
+	m := NewMetrics()
+	b := NewBatcher(mem, 1000, 10*time.Millisecond, m) // size never reached
+	defer b.Close()
+	if err := b.Put(fres(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "deadline-triggered flush", func() bool { return mem.Len() == 1 })
+	if got := m.Get(MBatchFlushDeadline); got < 1 {
+		t.Errorf("deadline flushes = %d, want >= 1", got)
+	}
+}
+
+func TestBatcherExplicitFlushIsABarrier(t *testing.T) {
+	mem := NewMemBackend()
+	b := NewBatcher(mem, 1000, time.Hour, NewMetrics())
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		if err := b.Put(fres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// No waiting: a returned Flush means every prior Put is durable.
+	if mem.Len() != 3 {
+		t.Errorf("backend has %d results after Flush, want 3", mem.Len())
+	}
+}
+
+func TestBatcherCloseFlushesRemaining(t *testing.T) {
+	mem := NewMemBackend()
+	b := NewBatcher(mem, 1000, time.Hour, NewMetrics())
+	for i := 0; i < 2; i++ {
+		if err := b.Put(fres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 2 {
+		t.Errorf("backend has %d results after Close, want 2", mem.Len())
+	}
+	if err := b.Put(fres(2)); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("Put after Close = %v, want ErrBatcherClosed", err)
+	}
+	if err := b.Flush(); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("Flush after Close = %v, want ErrBatcherClosed", err)
+	}
+}
+
+func TestBatcherRetriesFailedFlush(t *testing.T) {
+	mem := NewMemBackend()
+	mem.FailPuts = errors.New("disk full")
+	m := NewMetrics()
+	b := NewBatcher(mem, 1000, time.Hour, m)
+	defer b.Close()
+	if err := b.Put(fres(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err == nil {
+		t.Fatal("Flush against a failing backend must report the error")
+	}
+	if got := m.Get(MStoreErrors); got != 1 {
+		t.Errorf("store errors = %d, want 1", got)
+	}
+	if mem.Len() != 0 {
+		t.Fatalf("failed flush leaked %d results into the backend", mem.Len())
+	}
+
+	// The batch stayed buffered: once the backend recovers, the same results
+	// land on the next flush.
+	mem.FailPuts = nil
+	if err := b.Flush(); err != nil {
+		t.Fatalf("Flush after recovery: %v", err)
+	}
+	if mem.Len() != 1 {
+		t.Errorf("backend has %d results after recovery, want 1", mem.Len())
+	}
+}

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Client runs sweeps against a coordinator instead of an in-process worker
+// pool. It has the same Sweep contract as sweep.Runner — results aligned
+// with input order, duplicate specs answered from one execution, failures
+// reported per-result — so cmd/nicbench swaps one for the other behind a
+// single flag and every suite works unchanged.
+type Client struct {
+	// Base is the coordinator's base URL. Required.
+	Base string
+	// Poll is the result-poll interval; <= 0 selects 150ms.
+	Poll time.Duration
+	// HTTP is the client used to reach the coordinator; nil means a
+	// default client.
+	HTTP *http.Client
+
+	stats sweep.RunnerStats
+}
+
+// Sweep submits jobs to the coordinator and waits until every unique spec
+// hash has settled fleet-side, then returns results aligned with the input
+// order (IDs rewritten per input job, exactly like the local runner's
+// dedup). On ctx cancellation the jobs still in flight are reported as
+// canceled and the fleet keeps running them — a later Sweep of the same
+// specs will find them cached.
+func (c *Client) Sweep(ctx context.Context, jobs []sweep.Job) ([]sweep.Result, error) {
+	results := make([]sweep.Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	// Group duplicate specs: the fleet runs unique hashes; IDs are local.
+	idxByHash := map[string][]int{}
+	var hashes []string
+	for i, j := range jobs {
+		h := j.Spec.Hash()
+		if _, ok := idxByHash[h]; !ok {
+			hashes = append(hashes, h)
+		}
+		idxByHash[h] = append(idxByHash[h], i)
+	}
+
+	var sub SubmitResponse
+	if err := postJSON(ctx, c.http(), c.Base, PathSubmit, SubmitRequest{Jobs: jobs}, &sub); err != nil {
+		return nil, err
+	}
+	alreadyDone := map[string]bool{}
+	for _, h := range sub.AlreadyDone {
+		alreadyDone[h] = true
+	}
+
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 150 * time.Millisecond
+	}
+	settled := map[string]ResultEntry{}
+	waiting := hashes
+	for len(waiting) > 0 {
+		var rr ResultsResponse
+		if err := postJSON(ctx, c.http(), c.Base, PathResults, ResultsRequest{Hashes: waiting}, &rr); err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			// Transient coordinator hiccup: keep polling.
+			if !sleepCtx(ctx, poll) {
+				break
+			}
+			continue
+		}
+		for h, e := range rr.Results { //nic:unordered settled is re-read through sorted job order below
+			settled[h] = e
+		}
+		sort.Strings(rr.Missing)
+		waiting = rr.Missing
+		if len(waiting) == 0 {
+			break
+		}
+		if !sleepCtx(ctx, poll) {
+			break
+		}
+	}
+
+	for h, idxs := range idxByHash { //nic:unordered fills results by input index
+		e, ok := settled[h]
+		for _, i := range idxs {
+			if !ok {
+				results[i] = sweep.Result{
+					ID:   jobs[i].ID,
+					Hash: h,
+					Spec: jobs[i].Spec,
+					Err:  "canceled before completion",
+				}
+				continue
+			}
+			res := e.Result
+			res.ID = jobs[i].ID
+			res.Cached = e.Cached || alreadyDone[h]
+			results[i] = res
+		}
+		switch {
+		case !ok:
+		case e.Cached || alreadyDone[h]:
+			c.stats.CacheHits++
+		case e.Result.OK():
+			c.stats.Fresh++
+		default:
+			c.stats.Failed++
+		}
+	}
+	return results, ctx.Err()
+}
+
+// Stats mirrors sweep.Runner.Stats for the fleet path: counts are per
+// unique spec hash, from this client's perspective (a point another client
+// caused to run still counts as fresh here). Retry and store-error counts
+// live coordinator-side; fetch them via Metrics.
+func (c *Client) Stats() sweep.RunnerStats { return c.stats }
+
+// Status fetches the coordinator's queue gauge.
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
+	var s StatusResponse
+	err := getJSON(ctx, c.http(), c.Base, PathStatus, &s)
+	return s, err
+}
+
+// Metrics fetches the coordinator's flat counters.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var m map[string]int64
+	err := getJSON(ctx, c.http(), c.Base, PathMetrics, &m)
+	return m, err
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}

@@ -1,0 +1,440 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Job lifecycle states inside the coordinator.
+//
+//nic:exhaustive
+type jobState int
+
+const (
+	statePending jobState = iota // queued, waiting for a lease
+	stateLeased                  // granted to a worker, lease running
+	stateDone                    // completed successfully
+	stateFailed                  // exhausted its attempts
+)
+
+// fleetJob is the coordinator's record of one unique configuration point.
+type fleetJob struct {
+	job      sweep.Job
+	state    jobState
+	attempt  int // grants so far (1 = first execution)
+	leaseID  string
+	deadline time.Time
+	result   sweep.Result
+	cached   bool
+}
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// Backend persists successful results. Required.
+	Backend Backend
+	// LeaseTTL is how long a worker holds a job before the coordinator
+	// assumes it died and re-queues. <= 0 selects DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// MaxRetries bounds re-executions after the first attempt, counting
+	// both retried failures and expired leases. < 0 selects
+	// DefaultMaxRetries.
+	MaxRetries int
+	// BatchSize and FlushInterval parameterize the result batcher; zero
+	// values select the batcher defaults.
+	BatchSize     int
+	FlushInterval time.Duration
+	// Now is the clock; tests inject a manual one. Nil means time.Now.
+	Now func() time.Time
+}
+
+// Lease and retry defaults.
+const (
+	DefaultLeaseTTL   = 30 * time.Second
+	DefaultMaxRetries = 2
+)
+
+// Coordinator owns the fleet's job queue: it dedups submissions by spec
+// hash, grants deadline-bounded leases to workers, re-queues expired or
+// failed attempts within a retry budget, persists completions through the
+// Batcher, and exports flat counters. All methods are safe for concurrent
+// use; the HTTP surface in Handler is a thin JSON shim over them.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	metrics *Metrics
+	batcher *Batcher
+	now     func() time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*fleetJob // by spec hash
+	queue    []string             // pending hashes, FIFO
+	leases   map[string]*fleetJob // by lease ID
+	leaseSeq int64
+	workers  map[string]bool // names seen
+	closed   bool
+}
+
+// NewCoordinator starts a coordinator over cfg.Backend.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("fleet: CoordinatorConfig.Backend is nil")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now //nic:wallclock lease deadlines are real time by design
+	}
+	m := NewMetrics()
+	return &Coordinator{
+		cfg:     cfg,
+		metrics: m,
+		batcher: NewBatcher(cfg.Backend, cfg.BatchSize, cfg.FlushInterval, m),
+		now:     now,
+		jobs:    map[string]*fleetJob{},
+		leases:  map[string]*fleetJob{},
+		workers: map[string]bool{},
+	}, nil
+}
+
+// Metrics returns the coordinator's counter set.
+func (c *Coordinator) Metrics() *Metrics { return c.metrics }
+
+// Close flushes the batcher and closes the backend. The coordinator
+// rejects further work afterwards.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	ferr := c.batcher.Close()
+	cerr := c.cfg.Backend.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// Submit enqueues jobs, deduplicating by spec hash against everything the
+// coordinator has seen and everything the backend already holds.
+func (c *Coordinator) Submit(jobs []sweep.Job) SubmitResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp SubmitResponse
+	for _, j := range jobs {
+		c.metrics.Add(MJobsSubmitted, 1)
+		h := j.Spec.Hash()
+		if fj, ok := c.jobs[h]; ok {
+			resp.Deduped++
+			c.metrics.Add(MJobsDeduped, 1)
+			if fj.state == stateDone {
+				resp.AlreadyDone = append(resp.AlreadyDone, h)
+			}
+			continue
+		}
+		if r, ok := c.cfg.Backend.Get(h); ok && r.OK() {
+			c.jobs[h] = &fleetJob{job: j, state: stateDone, result: r, cached: true}
+			resp.Cached++
+			c.metrics.Add(MJobsCached, 1)
+			resp.AlreadyDone = append(resp.AlreadyDone, h)
+			continue
+		}
+		c.jobs[h] = &fleetJob{job: j, state: statePending}
+		c.queue = append(c.queue, h)
+		resp.Accepted++
+	}
+	return resp
+}
+
+// Lease grants up to req.Max pending jobs to a worker, each under a fresh
+// lease deadline. Expired leases are reaped first, so a crashed worker's
+// jobs become grantable again here.
+func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Worker != "" {
+		c.workers[req.Worker] = true
+	}
+	c.expireLocked(now)
+	var resp LeaseResponse
+	for len(resp.Jobs) < max && len(c.queue) > 0 {
+		h := c.queue[0]
+		c.queue = c.queue[1:]
+		fj := c.jobs[h]
+		if fj == nil || fj.state != statePending {
+			continue // settled while queued (late completion); skip lazily
+		}
+		fj.state = stateLeased
+		fj.attempt++
+		c.leaseSeq++
+		fj.leaseID = fmt.Sprintf("%s-a%d-%06d", h[:8], fj.attempt, c.leaseSeq)
+		fj.deadline = now.Add(c.cfg.LeaseTTL)
+		c.leases[fj.leaseID] = fj
+		c.metrics.Add(MLeasesGranted, 1)
+		resp.Jobs = append(resp.Jobs, LeasedJob{
+			Job:     fj.job,
+			LeaseID: fj.leaseID,
+			Attempt: fj.attempt,
+			TTLMs:   c.cfg.LeaseTTL.Milliseconds(),
+		})
+	}
+	if len(resp.Jobs) == 0 {
+		resp.WaitMs = defaultWait.Milliseconds()
+		resp.Drained = c.drainedLocked()
+	}
+	return resp
+}
+
+// Complete settles one attempt. Successful results persist through the
+// batcher; failed attempts re-queue while the retry budget lasts. Results
+// arriving after their lease expired are still used if the job has not
+// settled through another worker; results for already-settled jobs are
+// counted and dropped, so a point never lands twice.
+func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Worker != "" {
+		c.workers[req.Worker] = true
+	}
+	c.expireLocked(now)
+
+	res := req.Result
+	if fj := c.leases[req.LeaseID]; fj != nil {
+		delete(c.leases, req.LeaseID)
+		if fj.state != stateLeased || fj.leaseID != req.LeaseID {
+			// Stale record: the job settled through another path (a late
+			// completion) while this lease entry lingered.
+			c.metrics.Add(MResultsDuplicate, 1)
+			return CompleteResponse{}
+		}
+		fj.leaseID = ""
+		if res.OK() {
+			c.settleLocked(fj, res)
+			return CompleteResponse{Accepted: true}
+		}
+		if fj.attempt <= c.cfg.MaxRetries {
+			fj.state = statePending
+			c.queue = append(c.queue, res.Hash)
+			c.metrics.Add(MJobsRequeued, 1)
+			c.metrics.Add(MRetries, 1)
+			return CompleteResponse{Accepted: true, Requeued: true}
+		}
+		fj.state = stateFailed
+		fj.result = res
+		c.metrics.Add(MJobsFailed, 1)
+		return CompleteResponse{Accepted: true}
+	}
+
+	// Lease unknown: it expired (and the job may have been re-queued or
+	// re-granted) or the request is fabricated.
+	fj := c.jobs[res.Hash]
+	if fj == nil {
+		return CompleteResponse{}
+	}
+	if fj.state == stateDone || fj.state == stateFailed {
+		c.metrics.Add(MResultsDuplicate, 1)
+		return CompleteResponse{}
+	}
+	c.metrics.Add(MResultsLate, 1)
+	if res.OK() {
+		// A deterministic job's late result is as good as any other
+		// worker's; use it and let superseded attempts turn into duplicates.
+		c.settleLocked(fj, res)
+		return CompleteResponse{Accepted: true, Late: true}
+	}
+	// A late failure carries no new information: the re-queued entry or the
+	// current leaseholder already covers the retry.
+	return CompleteResponse{Late: true}
+}
+
+// settleLocked finalizes a successful result. Callers hold c.mu.
+func (c *Coordinator) settleLocked(fj *fleetJob, res sweep.Result) {
+	fj.state = stateDone
+	fj.leaseID = ""
+	fj.result = res
+	c.metrics.Add(MJobsExecuted, 1)
+	c.metrics.Add(MJobWallMs, int64(res.ElapsedSec*1e3))
+	// Persistence is batched; an error surfaces via store counters.
+	_ = c.batcher.Put(res)
+}
+
+// ResultsFor returns the settled results among hashes; unsettled hashes
+// come back in Missing.
+func (c *Coordinator) ResultsFor(hashes []string) ResultsResponse {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	resp := ResultsResponse{Results: map[string]ResultEntry{}}
+	for _, h := range hashes {
+		fj := c.jobs[h]
+		if fj == nil || (fj.state != stateDone && fj.state != stateFailed) {
+			resp.Missing = append(resp.Missing, h)
+			continue
+		}
+		resp.Results[h] = ResultEntry{Result: fj.result, Cached: fj.cached}
+	}
+	return resp
+}
+
+// Status reports the queue gauge.
+func (c *Coordinator) Status() StatusResponse {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	var resp StatusResponse
+	for _, fj := range c.jobs {
+		switch fj.state {
+		case statePending:
+			resp.Pending++
+		case stateLeased:
+			resp.Leased++
+		case stateDone:
+			resp.Done++
+		case stateFailed:
+			resp.Failed++
+		}
+	}
+	resp.Workers = len(c.workers)
+	resp.Drained = c.drainedLocked()
+	return resp
+}
+
+// Flush forces the batcher to persist everything completed so far.
+func (c *Coordinator) Flush() error { return c.batcher.Flush() }
+
+// drainedLocked reports whether no work is pending or leased. Callers hold
+// c.mu.
+func (c *Coordinator) drainedLocked() bool {
+	for _, fj := range c.jobs {
+		if fj.state == statePending || fj.state == stateLeased {
+			return false
+		}
+	}
+	return true
+}
+
+// expireLocked reaps leases whose deadline passed: within the retry budget
+// the job re-queues; beyond it the job fails with a synthesized lost-worker
+// result. Callers hold c.mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	var expired []*fleetJob
+	for id, fj := range c.leases {
+		if fj.state != stateLeased || fj.leaseID != id {
+			delete(c.leases, id) // stale record for a job settled late
+			continue
+		}
+		if now.After(fj.deadline) {
+			expired = append(expired, fj)
+			delete(c.leases, id)
+		}
+	}
+	// Deterministic re-queue order regardless of map iteration.
+	sort.Slice(expired, func(i, j int) bool {
+		return expired[i].job.Spec.Hash() < expired[j].job.Spec.Hash()
+	})
+	for _, fj := range expired {
+		c.metrics.Add(MLeasesExpired, 1)
+		h := fj.job.Spec.Hash()
+		if fj.attempt <= c.cfg.MaxRetries {
+			fj.state = statePending
+			fj.leaseID = ""
+			c.queue = append(c.queue, h)
+			c.metrics.Add(MJobsRequeued, 1)
+			continue
+		}
+		fj.state = stateFailed
+		fj.result = sweep.Result{
+			ID:   fj.job.ID,
+			Hash: h,
+			Spec: fj.job.Spec,
+			Err:  fmt.Sprintf("lease expired after %d attempt(s): worker lost", fj.attempt),
+		}
+		c.metrics.Add(MJobsFailed, 1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP surface
+// ---------------------------------------------------------------------------
+
+// Handler returns the coordinator's HTTP/JSON API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathSubmit, func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, c.Submit(req.Jobs))
+	})
+	mux.HandleFunc(PathLease, func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, c.Lease(req))
+	})
+	mux.HandleFunc(PathComplete, func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, c.Complete(req))
+	})
+	mux.HandleFunc(PathResults, func(w http.ResponseWriter, r *http.Request) {
+		var req ResultsRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, c.ResultsFor(req.Hashes))
+	})
+	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, r *http.Request) {
+		reply(w, c.Status())
+	})
+	mux.HandleFunc(PathMetrics, func(w http.ResponseWriter, r *http.Request) {
+		reply(w, c.metrics.Snapshot())
+	})
+	return mux
+}
+
+// decode parses a JSON POST body, writing the HTTP error itself when the
+// request is malformed.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(into); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// reply writes a JSON response.
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// manualClock is an injectable clock for lease-expiry tests: leases expire
+// exactly when the test says time passed, never from real scheduling jitter.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *manualClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func fjobs(n int) []sweep.Job {
+	jobs := make([]sweep.Job, n)
+	for i := range jobs {
+		jobs[i] = sweep.Job{ID: fmt.Sprintf("fleet/c%d", i+1), Spec: fres(i).Spec}
+	}
+	return jobs
+}
+
+func newTestCoordinator(t *testing.T, mutate func(*CoordinatorConfig)) (*Coordinator, *MemBackend, *manualClock) {
+	t.Helper()
+	mem := NewMemBackend()
+	clk := newManualClock()
+	cfg := CoordinatorConfig{
+		Backend:  mem,
+		LeaseTTL: time.Minute,
+		Now:      clk.now,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, mem, clk
+}
+
+func TestSubmitDedupsAndServesBackendCache(t *testing.T) {
+	c, mem, _ := newTestCoordinator(t, nil)
+	if err := mem.PutBatch([]sweep.Result{fres(0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := fjobs(3)
+	jobs = append(jobs, jobs[1]) // same point submitted twice in one grid
+	resp := c.Submit(jobs)
+	if resp.Accepted != 2 || resp.Deduped != 1 || resp.Cached != 1 {
+		t.Errorf("submit = %+v, want 2 accepted, 1 deduped, 1 cached", resp)
+	}
+	if len(resp.AlreadyDone) != 1 || resp.AlreadyDone[0] != fres(0).Hash {
+		t.Errorf("AlreadyDone = %v, want just the backend-cached hash", resp.AlreadyDone)
+	}
+
+	// Resubmitting the same grid is pure dedup; only the settled point is
+	// reported done.
+	resp2 := c.Submit(fjobs(3))
+	if resp2.Accepted != 0 || resp2.Deduped != 3 {
+		t.Errorf("resubmit = %+v, want 0 accepted, 3 deduped", resp2)
+	}
+	if len(resp2.AlreadyDone) != 1 {
+		t.Errorf("AlreadyDone = %v, want only the cached point (pending jobs are not done)", resp2.AlreadyDone)
+	}
+
+	rr := c.ResultsFor([]string{fres(0).Hash, fres(1).Hash})
+	if _, ok := rr.Results[fres(0).Hash]; !ok || !rr.Results[fres(0).Hash].Cached {
+		t.Error("backend-cached point must be served immediately, marked cached")
+	}
+	if len(rr.Missing) != 1 || rr.Missing[0] != fres(1).Hash {
+		t.Errorf("missing = %v, want the pending hash", rr.Missing)
+	}
+}
+
+func TestLeaseCompleteLifecycle(t *testing.T) {
+	c, mem, _ := newTestCoordinator(t, nil)
+	c.Submit(fjobs(2))
+
+	lease := c.Lease(LeaseRequest{Worker: "w1", Max: 8})
+	if len(lease.Jobs) != 2 {
+		t.Fatalf("leased %d jobs, want 2", len(lease.Jobs))
+	}
+	for _, lj := range lease.Jobs {
+		if lj.Attempt != 1 {
+			t.Errorf("attempt = %d, want 1", lj.Attempt)
+		}
+		res := fres(lj.Job.Spec.Cores - 1)
+		if resp := c.Complete(CompleteRequest{Worker: "w1", LeaseID: lj.LeaseID, Result: res}); !resp.Accepted {
+			t.Errorf("completion of %s not accepted", lj.Job.ID)
+		}
+	}
+
+	st := c.Status()
+	if st.Done != 2 || st.Pending != 0 || st.Leased != 0 || !st.Drained {
+		t.Errorf("status = %+v, want 2 done, drained", st)
+	}
+	if got := c.Metrics().Get(MJobsExecuted); got != 2 {
+		t.Errorf("executed = %d, want 2", got)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 2 {
+		t.Errorf("backend has %d results, want 2 (completions persist through the batcher)", mem.Len())
+	}
+
+	// An idle lease call reports drained with a poll hint.
+	idle := c.Lease(LeaseRequest{Worker: "w2", Max: 1})
+	if len(idle.Jobs) != 0 || !idle.Drained || idle.WaitMs <= 0 {
+		t.Errorf("idle lease = %+v, want no jobs, drained, a wait hint", idle)
+	}
+}
+
+func TestLeaseExpiryRequeuesForAnotherWorker(t *testing.T) {
+	c, _, clk := newTestCoordinator(t, func(cfg *CoordinatorConfig) {
+		cfg.LeaseTTL = 100 * time.Millisecond
+		cfg.MaxRetries = 2
+	})
+	c.Submit(fjobs(1))
+
+	l1 := c.Lease(LeaseRequest{Worker: "w1", Max: 1})
+	if len(l1.Jobs) != 1 || l1.Jobs[0].Attempt != 1 {
+		t.Fatalf("first lease = %+v", l1)
+	}
+	// Within the TTL the job is not re-grantable.
+	clk.advance(50 * time.Millisecond)
+	if l := c.Lease(LeaseRequest{Worker: "w2", Max: 1}); len(l.Jobs) != 0 {
+		t.Fatal("live lease must not be double-granted")
+	}
+	// Past the TTL the crashed worker's job re-queues and re-grants.
+	clk.advance(100 * time.Millisecond)
+	l2 := c.Lease(LeaseRequest{Worker: "w2", Max: 1})
+	if len(l2.Jobs) != 1 || l2.Jobs[0].Attempt != 2 {
+		t.Fatalf("post-expiry lease = %+v, want the same job at attempt 2", l2)
+	}
+	m := c.Metrics()
+	if m.Get(MLeasesExpired) != 1 || m.Get(MJobsRequeued) != 1 {
+		t.Errorf("expired=%d requeued=%d, want 1/1", m.Get(MLeasesExpired), m.Get(MJobsRequeued))
+	}
+
+	// The live holder settles the job.
+	if resp := c.Complete(CompleteRequest{Worker: "w2", LeaseID: l2.Jobs[0].LeaseID, Result: fres(0)}); !resp.Accepted {
+		t.Fatal("live completion rejected")
+	}
+	// The lost worker comes back from the dead with the superseded lease:
+	// its result must be dropped, never double-counted.
+	if resp := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.Jobs[0].LeaseID, Result: fres(0)}); resp.Accepted {
+		t.Error("superseded completion must not be accepted")
+	}
+	if m.Get(MResultsDuplicate) != 1 {
+		t.Errorf("duplicates = %d, want 1", m.Get(MResultsDuplicate))
+	}
+	if m.Get(MJobsExecuted) != 1 {
+		t.Errorf("executed = %d, want exactly 1 despite two completions", m.Get(MJobsExecuted))
+	}
+}
+
+func TestLateCompletionStillCounts(t *testing.T) {
+	c, _, clk := newTestCoordinator(t, func(cfg *CoordinatorConfig) {
+		cfg.LeaseTTL = 100 * time.Millisecond
+		cfg.MaxRetries = 2
+	})
+	c.Submit(fjobs(1))
+	l1 := c.Lease(LeaseRequest{Worker: "w1", Max: 1})
+
+	// The lease expires (the job re-queues), but nobody has re-leased it yet
+	// when the slow worker finally reports. Determinism makes its result as
+	// good as any; it settles the job.
+	clk.advance(200 * time.Millisecond)
+	resp := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.Jobs[0].LeaseID, Result: fres(0)})
+	if !resp.Accepted || !resp.Late {
+		t.Fatalf("late completion = %+v, want accepted late", resp)
+	}
+	if got := c.Metrics().Get(MResultsLate); got != 1 {
+		t.Errorf("late results = %d, want 1", got)
+	}
+
+	// The stale queue entry must be skipped, not re-granted.
+	if l := c.Lease(LeaseRequest{Worker: "w2", Max: 1}); len(l.Jobs) != 0 || !l.Drained {
+		t.Errorf("lease after late settle = %+v, want drained", l)
+	}
+	if got := c.Metrics().Get(MJobsExecuted); got != 1 {
+		t.Errorf("executed = %d, want 1", got)
+	}
+}
+
+func TestFailedAttemptsRetryWithinBudget(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, func(cfg *CoordinatorConfig) {
+		cfg.MaxRetries = 1
+	})
+	c.Submit(fjobs(1))
+
+	fail := fres(0)
+	fail.Report = nil
+	fail.Err = "diverging simulation"
+
+	l1 := c.Lease(LeaseRequest{Worker: "w1", Max: 1})
+	r1 := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.Jobs[0].LeaseID, Result: fail})
+	if !r1.Accepted || !r1.Requeued {
+		t.Fatalf("first failure = %+v, want requeued", r1)
+	}
+
+	l2 := c.Lease(LeaseRequest{Worker: "w1", Max: 1})
+	if len(l2.Jobs) != 1 || l2.Jobs[0].Attempt != 2 {
+		t.Fatalf("retry lease = %+v, want attempt 2", l2)
+	}
+	r2 := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l2.Jobs[0].LeaseID, Result: fail})
+	if !r2.Accepted || r2.Requeued {
+		t.Fatalf("final failure = %+v, want accepted without requeue", r2)
+	}
+
+	st := c.Status()
+	if st.Failed != 1 || !st.Drained {
+		t.Errorf("status = %+v, want 1 failed, drained", st)
+	}
+	rr := c.ResultsFor([]string{fres(0).Hash})
+	if e, ok := rr.Results[fres(0).Hash]; !ok || e.Result.OK() {
+		t.Error("exhausted job must settle with its failure visible to clients")
+	}
+	m := c.Metrics()
+	if m.Get(MRetries) != 1 || m.Get(MJobsFailed) != 1 {
+		t.Errorf("retries=%d failed=%d, want 1/1", m.Get(MRetries), m.Get(MJobsFailed))
+	}
+}
+
+func TestExpiryBeyondBudgetFailsJob(t *testing.T) {
+	c, _, clk := newTestCoordinator(t, func(cfg *CoordinatorConfig) {
+		cfg.LeaseTTL = 100 * time.Millisecond
+		cfg.MaxRetries = 0
+	})
+	c.Submit(fjobs(1))
+	c.Lease(LeaseRequest{Worker: "w1", Max: 1})
+
+	clk.advance(200 * time.Millisecond)
+	st := c.Status() // any API call reaps expired leases
+	if st.Failed != 1 || !st.Drained {
+		t.Fatalf("status = %+v, want the lost job failed", st)
+	}
+	rr := c.ResultsFor([]string{fres(0).Hash})
+	e := rr.Results[fres(0).Hash]
+	if e.Result.OK() || !strings.Contains(e.Result.Err, "lease expired") {
+		t.Errorf("synthesized failure = %q, want a lost-worker lease-expiry error", e.Result.Err)
+	}
+}

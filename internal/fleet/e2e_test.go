@@ -1,0 +1,350 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// simRun fabricates a deterministic report from the spec, mirroring the
+// sweep package's test double, so fleet and serial runs are comparable
+// without the cycle simulator.
+func simRun(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
+	r := &core.Report{TotalGbps: float64(j.Spec.Cores) * j.Spec.MHz / 100, IPC: 0.7}
+	r.Cfg.Cores = j.Spec.Cores
+	return sweep.Outcome{Report: r}, nil
+}
+
+// canonJSON is the byte-identity yardstick: fleet output must equal serial
+// output after Canonical strips wall-clock noise.
+func canonJSON(t *testing.T, rs []sweep.Result) string {
+	t.Helper()
+	out := make([]sweep.Result, len(rs))
+	for i, r := range rs {
+		out[i] = r.Canonical()
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// fleetEnv is one loopback fleet: a coordinator behind httptest and its
+// worker goroutines.
+type fleetEnv struct {
+	coord  *Coordinator
+	srv    *httptest.Server
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// startFleet brings up a coordinator and n workers running run, all torn
+// down via t.Cleanup (or an earlier explicit stop).
+func startFleet(t *testing.T, cfg CoordinatorConfig, n int, run sweep.RunFunc) *fleetEnv {
+	t.Helper()
+	if cfg.Backend == nil {
+		cfg.Backend = NewMemBackend()
+	}
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	env := &fleetEnv{coord: coord, srv: httptest.NewServer(coord.Handler()), cancel: cancel}
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Base:     env.srv.URL,
+			Name:     fmt.Sprintf("w%d", i+1),
+			Run:      run,
+			Parallel: 1,
+			PollMin:  2 * time.Millisecond,
+			PollMax:  20 * time.Millisecond,
+		}
+		env.wg.Add(1)
+		go func() {
+			defer env.wg.Done()
+			w.Serve(ctx)
+		}()
+	}
+	t.Cleanup(env.stop)
+	return env
+}
+
+// stop tears the fleet down: workers first (so no completion races the
+// closing coordinator), then the server, then the coordinator (which
+// flushes the batcher into the backend).
+func (e *fleetEnv) stop() {
+	e.once.Do(func() {
+		e.cancel()
+		e.wg.Wait()
+		e.srv.Close()
+		e.coord.Close()
+	})
+}
+
+func TestFleetSweepMatchesSerialByteForByte(t *testing.T) {
+	jobs := fjobs(8)
+	serial := &sweep.Runner{Run: simRun, Workers: 1}
+	srs, err := serial.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := startFleet(t, CoordinatorConfig{MaxRetries: 2}, 2, simRun)
+	client := &Client{Base: env.srv.URL, Poll: 5 * time.Millisecond}
+	frs, err := client.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := canonJSON(t, frs), canonJSON(t, srs); got != want {
+		t.Errorf("fleet results differ from serial:\n%s\n%s", got, want)
+	}
+	m := env.coord.Metrics()
+	if got := m.Get(MJobsExecuted); got != 8 {
+		t.Errorf("executed = %d, want exactly 8 (every point simulates once fleet-wide)", got)
+	}
+	if got := m.Get(MResultsDuplicate); got != 0 {
+		t.Errorf("duplicate results = %d, want 0", got)
+	}
+	if s := client.Stats(); s.Fresh != 8 || s.CacheHits != 0 {
+		t.Errorf("stats = %+v, want 8 fresh", s)
+	}
+
+	// A second client sweeping the same grid gets everything from the fleet's
+	// settled state: byte-identical again, nothing re-executes.
+	client2 := &Client{Base: env.srv.URL, Poll: 5 * time.Millisecond}
+	frs2, err := client2.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonJSON(t, frs2), canonJSON(t, srs); got != want {
+		t.Error("warm fleet results drifted from serial")
+	}
+	if s := client2.Stats(); s.CacheHits != 8 || s.Fresh != 0 {
+		t.Errorf("warm stats = %+v, want 8 cache hits", s)
+	}
+	if got := m.Get(MJobsExecuted); got != 8 {
+		t.Errorf("executed grew to %d on a warm sweep, want 8", got)
+	}
+}
+
+func TestWorkerPanicRetriesFleetSide(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	run := func(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
+		mu.Lock()
+		attempts[j.Spec.Hash()]++
+		n := attempts[j.Spec.Hash()]
+		mu.Unlock()
+		if j.Spec.Cores == 3 && n == 1 {
+			panic("diverging simulation")
+		}
+		return simRun(ctx, j)
+	}
+
+	env := startFleet(t, CoordinatorConfig{MaxRetries: 2}, 1, run)
+	client := &Client{Base: env.srv.URL, Poll: 5 * time.Millisecond}
+	rs, err := client.Sweep(context.Background(), fjobs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rs {
+		if !res.OK() {
+			t.Errorf("job %s failed despite the retry budget: %s", res.ID, res.Err)
+		}
+	}
+	m := env.coord.Metrics()
+	if m.Get(MRetries) != 1 || m.Get(MJobsRequeued) != 1 {
+		t.Errorf("retries=%d requeued=%d, want 1/1 (the panicked attempt re-queues)",
+			m.Get(MRetries), m.Get(MJobsRequeued))
+	}
+	if got := m.Get(MJobsExecuted); got != 4 {
+		t.Errorf("executed = %d, want 4", got)
+	}
+}
+
+func TestWorkerCrashMidJobRequeuesToSurvivor(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Backend:    NewMemBackend(),
+		LeaseTTL:   400 * time.Millisecond,
+		MaxRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// The doomed worker "crashes": its simulation never returns until the
+	// process (its context) dies, so it never completes its lease.
+	hungRun := func(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
+		<-ctx.Done()
+		return sweep.Outcome{}, ctx.Err()
+	}
+	ctx1, crash := context.WithCancel(context.Background())
+	w1 := &Worker{Base: srv.URL, Name: "doomed", Run: hungRun, Parallel: 1,
+		PollMin: 2 * time.Millisecond, PollMax: 20 * time.Millisecond}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); w1.Serve(ctx1) }()
+	defer func() { crash(); wg.Wait() }()
+
+	coord.Submit(fjobs(1))
+	waitFor(t, "doomed worker to lease the job", func() bool {
+		return coord.Status().Leased == 1
+	})
+
+	// A healthy worker joins; once the lease expires the job re-queues to it
+	// and the sweep converges.
+	ctx2, stop2 := context.WithCancel(context.Background())
+	w2 := &Worker{Base: srv.URL, Name: "survivor", Run: simRun, Parallel: 1,
+		PollMin: 2 * time.Millisecond, PollMax: 20 * time.Millisecond}
+	wg.Add(1)
+	go func() { defer wg.Done(); w2.Serve(ctx2) }()
+	defer stop2()
+
+	waitFor(t, "survivor to finish the re-queued job", func() bool {
+		return coord.Status().Done == 1
+	})
+	m := coord.Metrics()
+	if m.Get(MLeasesExpired) < 1 || m.Get(MJobsRequeued) < 1 {
+		t.Errorf("expired=%d requeued=%d, want >= 1 each", m.Get(MLeasesExpired), m.Get(MJobsRequeued))
+	}
+	if got := m.Get(MJobsExecuted); got != 1 {
+		t.Errorf("executed = %d, want 1", got)
+	}
+	rr := coord.ResultsFor([]string{fres(0).Hash})
+	if e, ok := rr.Results[fres(0).Hash]; !ok || !e.Result.OK() {
+		t.Error("re-queued job must settle successfully through the survivor")
+	}
+}
+
+func TestClientCancelThenResumeThroughBatcherAndJSONL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, sweep.StoreFileName)
+	jobs := fjobs(6)
+
+	// Jobs c4..c6 hang behind a gate that never opens in phase one, so the
+	// sweep is interrupted with exactly c1..c3 settled.
+	gate := make(chan struct{})
+	gatedRun := func(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
+		if j.Spec.Cores >= 4 {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return sweep.Outcome{}, ctx.Err()
+			}
+		}
+		return simRun(ctx, j)
+	}
+
+	backend1, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge batch and a distant deadline force persistence through the
+	// shutdown flush — the path an interrupted fleet actually exercises.
+	env1 := startFleet(t, CoordinatorConfig{
+		Backend: backend1, MaxRetries: 2,
+		BatchSize: 1000, FlushInterval: time.Hour,
+	}, 2, gatedRun)
+
+	cctx, ccancel := context.WithCancel(context.Background())
+	defer ccancel()
+	client1 := &Client{Base: env1.srv.URL, Poll: 5 * time.Millisecond}
+	type sweepOut struct {
+		rs  []sweep.Result
+		err error
+	}
+	outCh := make(chan sweepOut, 1)
+	go func() {
+		rs, err := client1.Sweep(cctx, jobs)
+		outCh <- sweepOut{rs, err}
+	}()
+
+	waitFor(t, "the ungated jobs to settle", func() bool {
+		return env1.coord.Status().Done == 3
+	})
+	ccancel()
+	out := <-outCh
+	if out.err == nil {
+		t.Fatal("expected a context error from the canceled sweep")
+	}
+	// The client may be canceled before its next poll collects the settled
+	// results, so it reports 0..3 of them; the gated half must always come
+	// back canceled. Durability is asserted against the store below.
+	var done, canceled int
+	for _, res := range out.rs {
+		switch {
+		case res.OK():
+			done++
+		case strings.Contains(res.Err, "canceled before completion"):
+			canceled++
+		default:
+			t.Errorf("job %s: unexpected failure %q", res.ID, res.Err)
+		}
+	}
+	if done+canceled != 6 || canceled < 3 {
+		t.Fatalf("done=%d canceled=%d, want all 6 accounted and the gated half canceled", done, canceled)
+	}
+
+	// Tear the fleet down: workers abandon their gated jobs, Close flushes
+	// the batcher, and the JSONL store ends up with exactly the settled half.
+	env1.stop()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(b), "\n"); n != 3 {
+		t.Fatalf("store has %d lines after interrupted fleet, want 3", n)
+	}
+
+	// Phase two: a fresh coordinator resumes from the store; the gate is
+	// open. The canceled points simulate, the settled ones are cache hits,
+	// and the combined output is byte-identical to a serial run.
+	close(gate)
+	backend2, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend2.Len() != 3 {
+		t.Fatalf("resumed backend has %d results, want 3", backend2.Len())
+	}
+	env2 := startFleet(t, CoordinatorConfig{Backend: backend2, MaxRetries: 2}, 2, gatedRun)
+	client2 := &Client{Base: env2.srv.URL, Poll: 5 * time.Millisecond}
+	frs, err := client2.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := &sweep.Runner{Run: simRun, Workers: 1}
+	srs, err := serial.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonJSON(t, frs), canonJSON(t, srs); got != want {
+		t.Errorf("resumed fleet results differ from serial:\n%s\n%s", got, want)
+	}
+	if s := client2.Stats(); s.CacheHits != 3 || s.Fresh != 3 {
+		t.Errorf("resume stats = %+v, want 3 cache hits + 3 fresh", s)
+	}
+	m := env2.coord.Metrics()
+	if m.Get(MJobsCached) != 3 || m.Get(MJobsExecuted) != 3 {
+		t.Errorf("cached=%d executed=%d, want 3/3 (only the interrupted half re-simulates)",
+			m.Get(MJobsCached), m.Get(MJobsExecuted))
+	}
+}

@@ -1,0 +1,148 @@
+// Package fleet promotes the internal/sweep harness from a single-process
+// worker pool to a coordinator/worker system, the same scaling move the
+// paper's firmware makes: throughput comes from scheduling many cheap
+// parallel workers, not from one faster engine. A Coordinator owns the job
+// queue and the result store; any number of worker processes (cmd/sweepd
+// -worker) lease jobs over a small HTTP/JSON API, simulate them through the
+// ordinary sweep.RunFunc path, and report completions.
+//
+// The fabric preserves the sweep harness's core guarantees across machines:
+//
+//   - Content-addressed dedup: jobs are keyed by sweep.Spec.Hash(), so an
+//     identical configuration point submitted by any number of clients or
+//     suites simulates exactly once fleet-wide.
+//   - Determinism: every simulation is a pure function of its spec, so a
+//     fleet run's result set is byte-identical (after Result.Canonical) to
+//     a serial run of the same jobs, regardless of which worker ran what.
+//   - Crash safety: every grant carries a lease with a deadline. A worker
+//     that crashes or hangs simply stops renewing its completions; the
+//     coordinator expires the lease and re-queues the job, bounded by a
+//     retry budget. Results are persisted through a flush-on-size-or-
+//     deadline Batcher in front of a pluggable Backend (JSONL today), so
+//     an interrupted fleet resumes the way a local sweep does.
+//
+// The HTTP surface is deliberately flat — POST /v1/submit, /v1/lease,
+// /v1/complete, /v1/results and GET /v1/status, /v1/metrics — and every
+// observable is a flat counter, so a fleet run is as gateable as a local
+// one.
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// API paths served by Coordinator.Handler and spoken by Worker and Client.
+const (
+	PathSubmit   = "/v1/submit"
+	PathLease    = "/v1/lease"
+	PathComplete = "/v1/complete"
+	PathResults  = "/v1/results"
+	PathStatus   = "/v1/status"
+	PathMetrics  = "/v1/metrics"
+)
+
+// SubmitRequest enqueues jobs. Jobs whose spec hash is already known —
+// queued, leased, done, or cached in the backend — are deduplicated, never
+// run twice.
+type SubmitRequest struct {
+	Jobs []sweep.Job `json:"jobs"`
+}
+
+// SubmitResponse reports how each submitted job was absorbed.
+type SubmitResponse struct {
+	// Accepted jobs entered the queue as fresh work.
+	Accepted int `json:"accepted"`
+	// Deduped jobs collapsed onto a hash the coordinator already tracks.
+	Deduped int `json:"deduped"`
+	// Cached jobs were answered immediately from the backend.
+	Cached int `json:"cached"`
+	// AlreadyDone lists the submitted hashes that had settled successfully
+	// before this submission — from the backend or an earlier fleet
+	// execution — so clients can report them as cache hits, matching the
+	// local runner's memo semantics.
+	AlreadyDone []string `json:"already_done,omitempty"`
+}
+
+// LeaseRequest asks for up to Max jobs on behalf of a named worker.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// LeasedJob is one granted job plus its lease identity and deadline.
+type LeasedJob struct {
+	Job     sweep.Job `json:"job"`
+	LeaseID string    `json:"lease_id"`
+	// Attempt is 1 for the first grant of a job, counting up across
+	// re-queues (lease expiries and retried failures).
+	Attempt int `json:"attempt"`
+	// TTLMs is how long the worker has before the coordinator assumes it
+	// died and re-queues the job.
+	TTLMs int64 `json:"ttl_ms"`
+}
+
+// LeaseResponse carries granted jobs. When empty, WaitMs suggests a poll
+// delay and Drained reports whether all known work has settled.
+type LeaseResponse struct {
+	Jobs    []LeasedJob `json:"jobs,omitempty"`
+	WaitMs  int64       `json:"wait_ms,omitempty"`
+	Drained bool        `json:"drained,omitempty"`
+}
+
+// CompleteRequest reports one finished attempt. The result may be a
+// failure (Result.Err set); the coordinator decides whether to retry.
+type CompleteRequest struct {
+	Worker  string       `json:"worker"`
+	LeaseID string       `json:"lease_id"`
+	Result  sweep.Result `json:"result"`
+}
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	// Accepted is false when the result was dropped as a duplicate of an
+	// already-settled job.
+	Accepted bool `json:"accepted"`
+	// Late is true when the lease had already expired; the result was still
+	// used if the job had not settled through another worker first.
+	Late bool `json:"late,omitempty"`
+	// Requeued is true when the attempt failed and the job went back into
+	// the queue for another try.
+	Requeued bool `json:"requeued,omitempty"`
+}
+
+// ResultsRequest fetches settled results by spec hash.
+type ResultsRequest struct {
+	Hashes []string `json:"hashes"`
+}
+
+// ResultEntry is one settled result. Cached travels explicitly because
+// sweep.Result deliberately excludes it from JSON.
+type ResultEntry struct {
+	Result sweep.Result `json:"result"`
+	Cached bool         `json:"cached,omitempty"`
+}
+
+// ResultsResponse maps each settled hash to its result; hashes still in
+// flight are listed in Missing.
+type ResultsResponse struct {
+	Results map[string]ResultEntry `json:"results,omitempty"`
+	Missing []string               `json:"missing,omitempty"`
+}
+
+// StatusResponse is the coordinator's queue gauge.
+type StatusResponse struct {
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	// Workers is the number of distinct worker names seen since start.
+	Workers int `json:"workers"`
+	// Drained is true when no job is pending or leased.
+	Drained bool `json:"drained"`
+}
+
+// defaultWait is the poll delay suggested to workers when the queue is
+// empty.
+const defaultWait = 250 * time.Millisecond

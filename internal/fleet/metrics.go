@@ -1,0 +1,72 @@
+package fleet
+
+import "sync"
+
+// Counter names exported by /v1/metrics. The set is flat on purpose —
+// every value is one int64 under one dotted name, so any scraper (or a
+// plain curl in CI) can gate on it without a schema.
+const (
+	// Submission.
+	MJobsSubmitted = "jobs.submitted" // job IDs received by /v1/submit
+	MJobsDeduped   = "jobs.deduped"   // submissions collapsed onto a known hash
+	MJobsCached    = "jobs.cached"    // unique points answered from the backend
+	// Execution (per unique spec hash).
+	MJobsExecuted = "jobs.executed" // points completed fresh by a worker
+	MJobsFailed   = "jobs.failed"   // points that exhausted their attempts
+	MJobsRequeued = "jobs.requeued" // re-queues: lease expiry or retried failure
+	MRetries      = "jobs.retries"  // failed attempts granted another try
+	// Leasing.
+	MLeasesGranted = "leases.granted"
+	MLeasesExpired = "leases.expired"
+	// Completions.
+	MResultsLate      = "results.late"      // arrived after lease expiry, still used
+	MResultsDuplicate = "results.duplicate" // arrived after the job settled, dropped
+	// Persistence.
+	MStoreErrors        = "store.errors"
+	MBatchFlushes       = "store.batch_flushes"
+	MBatchFlushSize     = "store.batch_flush_size"     // flushes triggered by batch size
+	MBatchFlushDeadline = "store.batch_flush_deadline" // flushes triggered by the deadline
+	MBatchResults       = "store.batch_results"        // results persisted through the batcher
+	// Timing. Wall milliseconds accumulate so mean job cost is
+	// job.wall_ms_total / jobs.executed.
+	MJobWallMs = "job.wall_ms_total"
+)
+
+// Metrics is a flat, export-friendly counter set. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+	c  map[string]int64
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{c: map[string]int64{}}
+}
+
+// Add increments counter key by delta.
+func (m *Metrics) Add(key string, delta int64) {
+	m.mu.Lock()
+	m.c[key] += delta
+	m.mu.Unlock()
+}
+
+// Get returns the current value of counter key (0 if never touched).
+func (m *Metrics) Get(key string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c[key]
+}
+
+// Snapshot returns a copy of every counter. Marshaling the returned map
+// with encoding/json yields keys in sorted order, so exports are
+// deterministic.
+func (m *Metrics) Snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.c))
+	for k, v := range m.c {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Worker is one member of the fleet: it leases jobs from a coordinator,
+// executes them through the ordinary sweep path (sweep.Execute gives each
+// attempt the same per-job timeout and panic isolation a local sweep has),
+// and reports completions. Transient coordinator failures are absorbed by
+// bounded retries with exponential backoff; a worker that dies anyway is
+// covered by lease expiry on the coordinator side.
+type Worker struct {
+	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:8731".
+	// Required.
+	Base string
+	// Name identifies the worker in leases and status. Required.
+	Name string
+	// Run executes one job (experiments.Simulate in production). Required.
+	Run sweep.RunFunc
+	// Parallel is the number of concurrent job slots; <= 0 means
+	// GOMAXPROCS.
+	Parallel int
+	// Timeout bounds each job attempt; 0 means no per-job timeout.
+	Timeout time.Duration
+	// PollMin/PollMax bound the idle- and error-backoff delays. Zero
+	// values select 100ms..2s.
+	PollMin, PollMax time.Duration
+	// HTTP is the client used to reach the coordinator; nil means a
+	// default client.
+	HTTP *http.Client
+	// OnResult, when non-nil, observes every completed attempt.
+	OnResult func(sweep.Result)
+}
+
+// completeTries bounds how often a finished result is re-offered to an
+// unreachable coordinator before the worker drops it and lets the lease
+// expire (the job re-queues fleet-side, so nothing is lost).
+const completeTries = 5
+
+// Serve runs lease/execute/complete loops until ctx is canceled and
+// returns ctx.Err(). Each of the Parallel slots is an independent loop, so
+// one slow simulation never blocks the others from leasing.
+func (w *Worker) Serve(ctx context.Context) error {
+	if w.Base == "" || w.Name == "" || w.Run == nil {
+		return fmt.Errorf("fleet: worker needs Base, Name, and Run")
+	}
+	slots := w.Parallel
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	done := make(chan struct{})
+	for i := 0; i < slots; i++ {
+		go func(slot int) {
+			defer func() { done <- struct{}{} }()
+			w.slotLoop(ctx, slot)
+		}(i)
+	}
+	for i := 0; i < slots; i++ {
+		<-done
+	}
+	return ctx.Err()
+}
+
+// slotLoop is one lease/execute/complete loop.
+func (w *Worker) slotLoop(ctx context.Context, slot int) {
+	name := fmt.Sprintf("%s/%d", w.Name, slot)
+	pollMin, pollMax := w.PollMin, w.PollMax
+	if pollMin <= 0 {
+		pollMin = 100 * time.Millisecond
+	}
+	if pollMax <= 0 {
+		pollMax = 2 * time.Second
+	}
+	backoff := pollMin
+	for ctx.Err() == nil {
+		var lease LeaseResponse
+		err := w.post(ctx, PathLease, LeaseRequest{Worker: name, Max: 1}, &lease)
+		if err != nil {
+			// Coordinator unreachable: exponential backoff, bounded.
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			backoff *= 2
+			if backoff > pollMax {
+				backoff = pollMax
+			}
+			continue
+		}
+		if len(lease.Jobs) == 0 {
+			wait := time.Duration(lease.WaitMs) * time.Millisecond
+			if wait < backoff {
+				wait = backoff
+			}
+			if wait > pollMax {
+				wait = pollMax
+			}
+			if !sleepCtx(ctx, wait) {
+				return
+			}
+			backoff *= 2
+			if backoff > pollMax {
+				backoff = pollMax
+			}
+			continue
+		}
+		backoff = pollMin
+		for _, lj := range lease.Jobs {
+			res := sweep.Execute(ctx, w.Run, lj.Job, w.Timeout)
+			if ctx.Err() != nil && !res.OK() {
+				// Shutdown mid-job: don't report the cancellation as a
+				// failure; the lease expires and the job re-queues.
+				return
+			}
+			if w.OnResult != nil {
+				w.OnResult(res)
+			}
+			w.complete(ctx, name, lj.LeaseID, res, pollMin)
+		}
+	}
+}
+
+// complete reports one result, retrying transient coordinator errors with
+// exponential backoff. Giving up is safe: the lease expires and the
+// coordinator re-queues the job.
+func (w *Worker) complete(ctx context.Context, name, leaseID string, res sweep.Result, backoff time.Duration) {
+	req := CompleteRequest{Worker: name, LeaseID: leaseID, Result: res}
+	for try := 0; try < completeTries; try++ {
+		var resp CompleteResponse
+		if err := w.post(ctx, PathComplete, req, &resp); err == nil {
+			return
+		}
+		if !sleepCtx(ctx, backoff) {
+			return
+		}
+		backoff *= 2
+	}
+}
+
+// post sends one JSON request to the coordinator.
+func (w *Worker) post(ctx context.Context, path string, body, into any) error {
+	return postJSON(ctx, w.http(), w.Base, path, body, into)
+}
+
+func (w *Worker) http() *http.Client {
+	if w.HTTP != nil {
+		return w.HTTP
+	}
+	return http.DefaultClient
+}
+
+// postJSON is the one HTTP call every fleet role makes: POST a JSON body,
+// decode a JSON response.
+func postJSON(ctx context.Context, hc *http.Client, base, path string, body, into any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("fleet: encode %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("fleet: build %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fleet: %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if into == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("fleet: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// getJSON fetches one JSON endpoint.
+func getJSON(ctx context.Context, hc *http.Client, base, path string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return fmt.Errorf("fleet: build %s request: %w", path, err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fleet: %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("fleet: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// sleepCtx sleeps for d or until ctx is canceled; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d) //nic:wallclock worker poll/backoff pacing is real time by design
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -16,6 +16,28 @@ import (
 // as that job's failure without killing the pool.
 type RunFunc func(ctx context.Context, job Job) (Outcome, error)
 
+// RunnerStats counts how a sweep's unique configuration points were
+// resolved. Local runs and fleet runs (internal/fleet) report the same
+// counters, so "every point simulated exactly once" is checkable the same
+// way in both modes. Counts are per unique spec hash, not per job ID:
+// duplicate jobs served from one execution count that execution once.
+type RunnerStats struct {
+	// Fresh is the number of unique points simulated to completion.
+	Fresh int64 `json:"fresh"`
+	// CacheHits is the number of unique points served from the store or the
+	// in-process memo without simulating.
+	CacheHits int64 `json:"cache_hits"`
+	// Retries is the number of failed attempts that were re-run because the
+	// runner's Retries budget allowed it.
+	Retries int64 `json:"retries"`
+	// Failed is the number of unique points whose final attempt failed.
+	Failed int64 `json:"failed"`
+	// StoreErrors is the number of results whose persistence failed. A store
+	// error degrades resumability, not correctness — the result is still
+	// reported — but a nonzero count means a resume would re-simulate.
+	StoreErrors int64 `json:"store_errors"`
+}
+
 // Runner executes sweeps over a worker pool.
 type Runner struct {
 	// Run executes one job. Required.
@@ -29,6 +51,11 @@ type Runner struct {
 	// sweep.
 	Timeout time.Duration
 
+	// Retries is how many times a failed attempt (error, panic, timeout) is
+	// re-run before the failure is recorded. 0 means one attempt only.
+	// Cancellation is never retried.
+	Retries int
+
 	// Store, when non-nil, serves previously completed jobs by hash and
 	// persists fresh successes, making sweeps resumable across processes.
 	Store *Store
@@ -37,8 +64,18 @@ type Runner struct {
 	// hits included). Calls are serialized.
 	OnResult func(Result)
 
-	mu   sync.Mutex
-	memo map[string]Result // in-process cache of successes, by hash
+	mu    sync.Mutex
+	memo  map[string]Result // in-process cache of successes, by hash
+	stats RunnerStats
+}
+
+// Stats returns a snapshot of the runner's counters. Updates are
+// serialized the same way OnResult calls are, so a snapshot taken after
+// Sweep returns is complete.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
 }
 
 // Sweep executes all jobs and returns results aligned with the input order.
@@ -68,14 +105,25 @@ func (r *Runner) Sweep(ctx context.Context, jobs []Job) ([]Result, error) {
 
 	settle := func(res Result) {
 		r.mu.Lock()
+		switch {
+		case res.Cached:
+			r.stats.CacheHits++
+		case res.OK():
+			r.stats.Fresh++
+		default:
+			r.stats.Failed++
+		}
 		if res.OK() {
 			if r.memo == nil {
 				r.memo = map[string]Result{}
 			}
 			r.memo[res.Hash] = res
 			if r.Store != nil && !res.Cached {
-				// Persistence failure degrades resumability, not correctness.
-				_ = r.Store.Put(res)
+				if err := r.Store.Put(res); err != nil {
+					// Persistence failure degrades resumability, not
+					// correctness; it is surfaced through StoreErrors.
+					r.stats.StoreErrors++
+				}
 			}
 		}
 		for _, i := range idxByHash[res.Hash] {
@@ -117,7 +165,7 @@ func (r *Runner) Sweep(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for job := range ch {
-				settle(r.runOne(ctx, job))
+				settle(r.runRetrying(ctx, job))
 			}
 		}()
 	}
@@ -162,8 +210,25 @@ func (r *Runner) cached(hash string) (Result, bool) {
 	return Result{}, false
 }
 
-// runOne executes a single job with timeout and panic isolation.
-func (r *Runner) runOne(ctx context.Context, job Job) (res Result) {
+// runRetrying executes one job, re-running failed attempts while the retry
+// budget lasts and the sweep has not been canceled.
+func (r *Runner) runRetrying(ctx context.Context, job Job) Result {
+	res := Execute(ctx, r.Run, job, r.Timeout)
+	for attempt := 0; attempt < r.Retries && !res.OK() && ctx.Err() == nil; attempt++ {
+		r.mu.Lock()
+		r.stats.Retries++
+		r.mu.Unlock()
+		res = Execute(ctx, r.Run, job, r.Timeout)
+	}
+	return res
+}
+
+// Execute runs a single job attempt with a per-job timeout and panic
+// isolation: a panicking run fails its own Result (stack attached) instead
+// of crashing the caller. Both the local Runner and the fleet worker
+// (internal/fleet) execute jobs through this one path, so a job fails
+// identically whether it ran in-process or on a remote machine.
+func Execute(ctx context.Context, run RunFunc, job Job, timeout time.Duration) (res Result) {
 	res = Result{ID: job.ID, Hash: job.Spec.Hash(), Spec: job.Spec}
 	start := time.Now() //nic:wallclock ElapsedSec reports real job duration
 	defer func() {
@@ -174,12 +239,12 @@ func (r *Runner) runOne(ctx context.Context, job Job) (res Result) {
 		}
 	}()
 	jctx := ctx
-	if r.Timeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		jctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		jctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	out, err := r.Run(jctx, job)
+	out, err := run(jctx, job)
 	if err != nil {
 		res.Err = err.Error()
 		return res

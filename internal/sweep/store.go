@@ -14,8 +14,10 @@ import (
 // Store is a resumable on-disk result cache: one JSON Result per line,
 // keyed by job hash. Opening an existing store loads every valid line, so
 // a sweep interrupted mid-run (crash, ^C, canceled context) resumes by
-// re-running only the missing points. A torn trailing line — the signature
-// of an interrupt mid-write — is skipped rather than fatal.
+// re-running only the missing points. A torn line — the signature of an
+// interrupt mid-write, or a lost sector after a crash — is skipped rather
+// than fatal wherever it appears; on duplicate hashes the first valid line
+// wins, matching Put's append-once semantics.
 type Store struct {
 	mu     sync.Mutex
 	path   string
@@ -47,7 +49,7 @@ func OpenStore(path string) (*Store, error) {
 			if err := json.Unmarshal(line, &r); err != nil || r.Hash == "" {
 				continue // torn or foreign line
 			}
-			if r.OK() {
+			if _, dup := s.byHash[r.Hash]; r.OK() && !dup {
 				s.byHash[r.Hash] = r
 			}
 		}
@@ -119,14 +121,67 @@ func (s *Store) Results() []Result {
 	return out
 }
 
-// Close syncs and closes the backing file.
+// PutBatch appends a batch of successful results as one write followed by
+// one fsync, so a flush is both cheap (a single syscall for many results)
+// and durable (the batch survives power loss once PutBatch returns).
+// Failed results and hashes already present — in the store or earlier in
+// the same batch — are skipped, mirroring Put.
+func (s *Store) PutBatch(rs []Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	var added []string
+	for _, r := range rs {
+		if !r.OK() {
+			continue
+		}
+		if _, ok := s.byHash[r.Hash]; ok {
+			continue
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			s.unindex(added)
+			return fmt.Errorf("sweep: encode result %s: %w", r.ID, err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+		s.byHash[r.Hash] = r
+		added = append(added, r.Hash)
+	}
+	if buf.Len() == 0 {
+		return nil
+	}
+	if _, err := s.f.Write(buf.Bytes()); err != nil {
+		s.unindex(added)
+		return fmt.Errorf("sweep: append batch: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: sync batch: %w", err)
+	}
+	return nil
+}
+
+// unindex rolls back index entries whose bytes never reached the file, so a
+// failed batch can be retried. Callers hold s.mu.
+func (s *Store) unindex(hashes []string) {
+	for _, h := range hashes {
+		delete(s.byHash, h)
+	}
+}
+
+// Close syncs and closes the backing file, so results appended by Put are
+// durable once a sweep shuts down cleanly.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return nil
 	}
-	err := s.f.Close()
+	serr := s.f.Sync()
+	cerr := s.f.Close()
 	s.f = nil
-	return err
+	if serr != nil {
+		return fmt.Errorf("sweep: sync store: %w", serr)
+	}
+	return cerr
 }
