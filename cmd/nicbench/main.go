@@ -349,7 +349,8 @@ func run() int {
 }
 
 // selectSuites maps the flag surface to suite keys, in presentation order.
-// gateDefault selects the gate suite when nothing else is named (the
+// gateDefault selects the gated suites — gate and robustness, whose points
+// are both pinned in the baseline file — when nothing else is named (the
 // -check / -update-baseline default).
 func selectSuites(table, figure int, ablation, suiteList string, all, gateDefault bool) ([]experiments.Suite, error) {
 	want := map[string]bool{}
@@ -389,6 +390,7 @@ func selectSuites(table, figure int, ablation, suiteList string, all, gateDefaul
 	}
 	if len(want) == 0 && gateDefault {
 		want["gate"] = true
+		want["robustness"] = true
 	}
 	var sel []experiments.Suite
 	for _, s := range experiments.Suites() {

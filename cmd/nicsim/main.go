@@ -12,6 +12,7 @@ import (
 	"repro/internal/firmware"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -25,6 +26,9 @@ func main() {
 	measure := flag.Float64("measure", 500, "measurement time in microseconds")
 	payload := flag.Bool("payload", false, "carry and verify real frame bytes")
 	faultFlag := flag.String("faults", "", `fault plan: "ref" for the reference plan, compact syntax ("seed=1;rx_drop@250us*4,..."), or @file.json`)
+	trafficFlag := flag.String("traffic", "", `adversarial traffic "class[,arrival][,seed=N]", e.g. "badcrc", "mcast,burst", "mixed,pareto,seed=7" (classes: uniform, jumbo, runt, oversize, badcrc, mcast, mixed, priority; arrivals: saturate, burst, pareto, sync)`)
+	sloFlag := flag.String("slo", "", `latency/drop objective "recv_p99_us=40,send_p99_us=40,max_drop_frac=0.01"; empty values gate only survival (ordering, invariants, progress)`)
+	jumbo := flag.Bool("jumbo", false, "build a jumbo-capable controller (implied by -traffic jumbo)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto or chrome://tracing)")
 	latency := flag.Bool("latency", false, "enable frame-lifecycle observation and report latency percentiles")
@@ -40,6 +44,25 @@ func main() {
 	}
 	if *taskpar {
 		cfg.Parallelism = firmware.TaskParallel
+	}
+	var traffic *workload.TrafficSpec
+	if *trafficFlag != "" {
+		ts, err := workload.ParseTraffic(*trafficFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nicsim: bad traffic spec: %v\n", err)
+			os.Exit(2)
+		}
+		traffic = &ts
+	}
+	cfg.JumboFrames = *jumbo || (traffic != nil && traffic.Class == workload.ClassJumbo)
+	var slo *core.SLO
+	if *sloFlag != "" {
+		s, err := core.ParseSLO(*sloFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nicsim: bad SLO: %v\n", err)
+			os.Exit(2)
+		}
+		slo = &s
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "nicsim: invalid configuration: %v\n", err)
@@ -61,10 +84,23 @@ func main() {
 	}
 
 	n := core.New(cfg)
-	n.AttachWorkload(*udp, *payload)
+	if traffic != nil {
+		if err := n.AttachTraffic(*udp, *traffic, *payload); err != nil {
+			fmt.Fprintf(os.Stderr, "nicsim: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		n.AttachWorkload(*udp, *payload)
+	}
 	if err := n.AttachFaults(plan); err != nil {
 		fmt.Fprintf(os.Stderr, "nicsim: %v\n", err)
 		os.Exit(2)
+	}
+	if slo != nil {
+		if err := n.AttachSLO(*slo); err != nil {
+			fmt.Fprintf(os.Stderr, "nicsim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	var rec *obs.Recorder
 	if *traceOut != "" || *latency {
@@ -105,6 +141,10 @@ func main() {
 	}
 	if rep.InvariantViolations > 0 {
 		fmt.Fprintln(os.Stderr, "ERROR: run invariants violated")
+		os.Exit(1)
+	}
+	if rep.SLO != nil && rep.SLO.Violations > 0 {
+		fmt.Fprintf(os.Stderr, "ERROR: %d SLO violation(s)\n", rep.SLO.Violations)
 		os.Exit(1)
 	}
 }

@@ -138,10 +138,26 @@ type NetworkSource interface {
 	Next() (size int, handle any, ok bool)
 }
 
+// RxFrameMeta is the optional wire-level metadata a workload's frame handles
+// may expose to the MAC receive path: a failing frame check sequence and the
+// destination address (ok=false when the workload does not address frames,
+// in which case address filtering passes them). Handles without the
+// interface are treated as well-formed station-addressed frames, so the
+// paper's baseline workloads are untouched.
+type RxFrameMeta interface {
+	RxBadCRC() bool
+	RxDst() (ethernet.MAC, bool)
+}
+
 // MACRx is the receive half: frames arrive paced by the wire, land in a
 // two-frame staging buffer, and are written to the SDRAM receive buffer at
 // an address chosen by the allocation callback. When the receive buffer has
 // no space the frame is dropped, as on the real controller.
+//
+// Before staging, every arriving frame passes deterministic wire-validity
+// checks — runt, oversize, bad CRC, address filter — and malformed frames
+// are dropped and counted per class without ever reaching firmware, exactly
+// as a hardware MAC discards them before DMA.
 type MACRx struct {
 	Port      *ScratchPort
 	sdram     *mem.SDRAM
@@ -164,6 +180,14 @@ type MACRx struct {
 	// firmware sees them and counted separately from buffer-exhaustion Drops.
 	FaultVerdict func(size int) int
 
+	// MaxFrame is the largest acceptable frame size; zero means the standard
+	// ethernet.MaxFrame. Jumbo-enabled builds raise it to
+	// ethernet.JumboMaxFrame.
+	MaxFrame int
+	// Filter, when non-nil, is the receive address filter: frames whose
+	// destination it rejects are dropped and counted as FilteredDrops.
+	Filter *ethernet.AddressFilter
+
 	// Obs, when non-nil, records wire occupancy spans on ObsTrack and each
 	// accepted frame's arrival instant as its receive-latency origin.
 	Obs      *obs.Recorder
@@ -180,6 +204,12 @@ type MACRx struct {
 	WireDrops    stats.Counter // injected wire losses
 	CorruptDrops stats.Counter // injected CRC failures
 	WireBusy     stats.Utilization
+
+	// Per-class malformed-frame reject counters (wire-validity checks).
+	RuntDrops     stats.Counter // shorter than the Ethernet minimum
+	OversizeDrops stats.Counter // longer than MaxFrame
+	BadCRCDrops   stats.Counter // arriving frame check sequence failed
+	FilteredDrops stats.Counter // destination rejected by the address filter
 }
 
 // FaultVerdict results.
@@ -245,6 +275,9 @@ func (m *MACRx) frameArrived(size int, handle any) {
 			return
 		}
 	}
+	if !m.admit(size, handle) {
+		return
+	}
 	if m.staged >= 2 || m.Alloc == nil {
 		m.Drops.Inc()
 		return
@@ -272,6 +305,41 @@ func (m *MACRx) frameArrived(size int, handle any) {
 			}
 		},
 	})
+}
+
+// admit applies the deterministic wire-validity checks a hardware MAC makes
+// before DMA: length bounds, frame check sequence, and the receive address
+// filter. A false return means the frame was dropped and counted; rejected
+// frames never increment RxFrames, so the MAC/firmware conservation
+// invariant is unaffected. Runs once per arriving frame.
+//
+//nic:hotpath
+func (m *MACRx) admit(size int, handle any) bool {
+	if size < ethernet.MinFrame {
+		m.RuntDrops.Inc()
+		return false
+	}
+	maxFrame := m.MaxFrame
+	if maxFrame == 0 {
+		maxFrame = ethernet.MaxFrame
+	}
+	if size > maxFrame {
+		m.OversizeDrops.Inc()
+		return false
+	}
+	if meta, ok := handle.(RxFrameMeta); ok {
+		if meta.RxBadCRC() {
+			m.BadCRCDrops.Inc()
+			return false
+		}
+		if m.Filter != nil {
+			if dst, addressed := meta.RxDst(); addressed && !m.Filter.Accept(dst) {
+				m.FilteredDrops.Inc()
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Quiescent reports that the CPU-domain half of MACTx has nothing to do: no

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/assist"
 	"repro/internal/cpu"
+	"repro/internal/ethernet"
 	"repro/internal/faults"
 	"repro/internal/firmware"
 	"repro/internal/host"
@@ -44,6 +45,12 @@ type Config struct {
 	TxSlots  int
 	RxSlots  int
 	DMADepth int
+
+	// JumboFrames raises the MAC's maximum accepted frame to the 9000-byte
+	// payload jumbo limit, sizes firmware buffer slots to match, and relaxes
+	// host-side delivery validation to the jumbo MTU. Off by default: the
+	// paper's controller is standard-MTU.
+	JumboFrames bool `json:",omitempty"`
 
 	// Profile overrides the firmware cost model when non-nil.
 	Profile *firmware.Profile
@@ -99,6 +106,12 @@ type NIC struct {
 	TxSink *workload.TxSink
 	txGen  *workload.Generator
 	rxGen  *workload.Generator
+
+	// adv/traffic/slo are set by AttachTraffic and AttachSLO: the hostile
+	// receive source, its spec (for the report), and the armed objective.
+	adv     *workload.Adversary
+	traffic *workload.TrafficSpec
+	slo     *SLO
 
 	inj     *faults.Injector
 	checker *invariantChecker
@@ -158,7 +171,15 @@ func New(cfg Config) *NIC {
 	}
 	prof.Ordering = cfg.Ordering
 	prof.Parallelism = cfg.Parallelism
-	n.FW = firmware.New(prof, n.SP, n.Host, n.As, cfg.Cores, cfg.TxSlots, cfg.RxSlots)
+	// Buffer slots hold one maximum-sized frame plus the 12-byte descriptor
+	// header; a jumbo build widens the slots and the MAC's admission limit.
+	slotBytes := uint32(1530)
+	if cfg.JumboFrames {
+		slotBytes = 9030
+		n.As.MACRx.MaxFrame = ethernet.JumboMaxFrame
+		n.Host.JumboFrames = true
+	}
+	n.FW = firmware.New(prof, n.SP, n.Host, n.As, cfg.Cores, cfg.TxSlots, cfg.RxSlots, slotBytes)
 
 	for i := 0; i < cfg.Cores; i++ {
 		ic := mem.NewICache(cfg.ICacheBytes, cfg.ICacheWays, cfg.ICacheLine)
@@ -207,6 +228,52 @@ func (n *NIC) AttachWorkload(udpSize int, withPayload bool) {
 	n.As.MACRx.Source = &workload.Arrivals{G: n.rxGen}
 	n.TxSink = &workload.TxSink{}
 	n.FW.OnTransmit = func(f *host.Frame) { n.TxSink.Transmit(f) }
+}
+
+// AttachTraffic installs one adversarial traffic-matrix point: the hostile
+// receive stream described by ts, plus a transmit stream of the same datagram
+// size so the controller stays full-duplex (gated in lockstep with the
+// receive bursts under the synchronized-burst arrival). The multicast class
+// additionally installs the station's receive address filter.
+func (n *NIC) AttachTraffic(udpSize int, ts workload.TrafficSpec, withPayload bool) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
+	if ts.Class == workload.ClassJumbo && !n.Cfg.JumboFrames {
+		return fmt.Errorf("core: traffic class %q requires Config.JumboFrames", ts.Class)
+	}
+	spec := ts
+	n.traffic = &spec
+	n.adv = workload.NewAdversary(ts, udpSize, withPayload)
+	n.As.MACRx.Source = n.adv
+	if ts.Class == workload.ClassMcast {
+		n.As.MACRx.Filter = workload.StationFilter()
+	}
+	n.txGen = workload.NewGenerator(udpSize, withPayload)
+	n.txGen.Jumbo = n.Cfg.JumboFrames
+	if ts.Arrival == workload.ArrivalSync {
+		n.Host.Source = &workload.GatedSender{G: n.txGen, Adv: n.adv}
+	} else {
+		n.Host.Source = &workload.Sender{G: n.txGen}
+	}
+	n.TxSink = &workload.TxSink{}
+	n.FW.OnTransmit = func(f *host.Frame) { n.TxSink.Transmit(f) }
+	return nil
+}
+
+// AttachSLO arms a latency/drop service-level objective for this run; Run
+// evaluates it into Report.SLO. Latency bounds enable frame-lifecycle
+// observation for the run (per-spec, so sweeps stay deterministic without a
+// global observation flag).
+func (n *NIC) AttachSLO(s SLO) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	n.slo = &s
+	if s.NeedsLatency() {
+		n.EnableObs(obs.Config{})
+	}
+	return nil
 }
 
 // EnableTracing captures per-processor scratchpad reference traces (cores

@@ -25,6 +25,11 @@ type snapshot struct {
 	rxCorrupt, rxDrops          uint64
 	sendCompleted               uint64
 
+	macRxFrames                                          uint64
+	runtDrops, oversizeDrops, badCRCDrops, filteredDrops uint64
+	advOffered, advHostile, advCrit                      uint64
+	critDelivered                                        uint64
+
 	spReads, spWrites uint64
 	assistAccesses    uint64
 
@@ -57,6 +62,18 @@ func (n *NIC) snapshot() snapshot {
 	s.rxCorrupt = n.Host.RecvCorrupt.Value()
 	s.rxDrops = n.As.MACRx.Drops.Value()
 	s.sendCompleted = n.Host.SendCompleted.Value()
+
+	s.macRxFrames = n.As.MACRx.RxFrames.Value()
+	s.runtDrops = n.As.MACRx.RuntDrops.Value()
+	s.oversizeDrops = n.As.MACRx.OversizeDrops.Value()
+	s.badCRCDrops = n.As.MACRx.BadCRCDrops.Value()
+	s.filteredDrops = n.As.MACRx.FilteredDrops.Value()
+	if n.adv != nil {
+		s.advOffered = n.adv.Offered.Value()
+		s.advHostile = n.adv.HostileOffered.Value()
+		s.advCrit = n.adv.CritOffered.Value()
+	}
+	s.critDelivered = n.Host.RecvCritical.Value()
 
 	s.spReads, s.spWrites = n.SP.TotalAccesses()
 	s.assistAccesses = n.As.DMARead.Port.Accesses.Value() +
@@ -148,6 +165,12 @@ type Report struct {
 	// residency, present only when observation was enabled (EnableObs) —
 	// reports from unobserved runs stay byte-identical to older builds.
 	Latency *obs.LatencyReport `json:"latency,omitempty"`
+
+	// Traffic and SLO are the adversarial-traffic and service-level-objective
+	// sections, present only when AttachTraffic / AttachSLO armed them —
+	// baseline reports stay byte-identical to older builds.
+	Traffic *TrafficReport `json:"traffic,omitempty"`
+	SLO     *SLOReport     `json:"slo,omitempty"`
 }
 
 // FuncBreakdown is one direction's per-frame rows.
@@ -187,6 +210,9 @@ func (n *NIC) report(end snapshot) Report {
 	r.TxFPS = float64(txFrames) / secs
 	r.RxFPS = float64(rxFrames) / secs
 	r.LineRate = 2 * ethernet.PayloadThroughputGbps(r.UDPSize)
+	if r.Cfg.JumboFrames {
+		r.LineRate = 2 * ethernet.JumboPayloadThroughputGbps(r.UDPSize)
+	}
 	if r.LineRate > 0 {
 		r.LineFraction = r.TotalGbps / r.LineRate
 	}
@@ -319,6 +345,32 @@ func (n *NIC) report(end snapshot) Report {
 	}
 	r.Faults = n.faultReport()
 	r.Latency = n.obs.LatencyReport()
+	if n.traffic != nil {
+		r.Traffic = &TrafficReport{
+			Class:          n.traffic.Class,
+			Arrival:        n.traffic.Arrival,
+			Seed:           n.traffic.Seed,
+			Offered:        end.advOffered - base.advOffered,
+			HostileOffered: end.advHostile - base.advHostile,
+			RuntDrops:      end.runtDrops - base.runtDrops,
+			OversizeDrops:  end.oversizeDrops - base.oversizeDrops,
+			BadCRCDrops:    end.badCRCDrops - base.badCRCDrops,
+			FilteredDrops:  end.filteredDrops - base.filteredDrops,
+			CritOffered:    end.advCrit - base.advCrit,
+			CritDelivered:  end.critDelivered - base.critDelivered,
+		}
+	}
+	if n.slo != nil {
+		// Drop fraction counts buffer-exhaustion drops against all frames that
+		// survived admission; malformed-frame rejects never count against it.
+		accepted := end.macRxFrames - base.macRxFrames
+		drops := end.rxDrops - base.rxDrops
+		var dropFrac float64
+		if accepted+drops > 0 {
+			dropFrac = float64(drops) / float64(accepted+drops)
+		}
+		r.SLO = evaluateSLO(*n.slo, &r, dropFrac)
+	}
 	return r
 }
 
@@ -366,6 +418,28 @@ func (r Report) String() string {
 		}
 		lat("send", l.Send)
 		lat("receive", l.Recv)
+	}
+	if t := r.Traffic; t != nil {
+		arr := t.Arrival
+		if arr == "" {
+			arr = "saturate"
+		}
+		fmt.Fprintf(&b, "traffic: class %s, arrival %s, seed %d: offered %d (hostile %d), rejected runt/oversize/crc/filtered %d/%d/%d/%d\n",
+			t.Class, arr, t.Seed, t.Offered, t.HostileOffered,
+			t.RuntDrops, t.OversizeDrops, t.BadCRCDrops, t.FilteredDrops)
+		if t.CritOffered > 0 {
+			fmt.Fprintf(&b, "  critical frames: %d offered, %d delivered\n", t.CritOffered, t.CritDelivered)
+		}
+	}
+	if s := r.SLO; s != nil {
+		fmt.Fprintf(&b, "slo: %d violation(s)\n", s.Violations)
+		for _, c := range s.Checks {
+			status := "ok"
+			if !c.Pass {
+				status = "VIOLATED"
+			}
+			fmt.Fprintf(&b, "  %-14s bound %10.3f got %10.3f  %s\n", c.Name, c.Bound, c.Got, status)
+		}
 	}
 	if r.InvariantViolations > 0 {
 		fmt.Fprintf(&b, "INVARIANT VIOLATIONS: %d\n", r.InvariantViolations)

@@ -1,0 +1,73 @@
+package ethernet
+
+// Broadcast is the all-ones Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func IsBroadcast(m MAC) bool { return m == Broadcast }
+
+// IsMulticast reports whether the address is a group (multicast or
+// broadcast) address: the I/G bit of the first octet is set.
+func IsMulticast(m MAC) bool { return m[0]&1 == 1 }
+
+// AddressFilter is the MAC receive address filter: a station address plus
+// the subscribed multicast groups, mirroring the perfect-filter register
+// banks of real 10GbE MACs. Broadcast frames always pass; unicast frames
+// pass only when addressed to the station; multicast frames pass only when
+// the group is subscribed.
+type AddressFilter struct {
+	Station MAC
+	Groups  []MAC
+}
+
+// Accept reports whether a frame with the given destination passes the
+// filter. It runs once per arriving frame in the MAC receive path.
+//
+//nic:hotpath
+func (f *AddressFilter) Accept(dst MAC) bool {
+	if IsBroadcast(dst) {
+		return true
+	}
+	if !IsMulticast(dst) {
+		return dst == f.Station
+	}
+	for i := range f.Groups {
+		if f.Groups[i] == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// PutSeqTag embeds a sequence tag into a payload: the low-order min(8,
+// len(b)) bytes of seq, big-endian. For payloads of 8 bytes or more this is
+// exactly binary.BigEndian.PutUint64; shorter payloads carry a truncated tag
+// so even the smallest Figure-8 datagrams validate in-order delivery.
+//
+//nic:hotpath
+func PutSeqTag(b []byte, seq uint64) {
+	n := len(b)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		b[i] = byte(seq >> (8 * uint(n-1-i)))
+	}
+}
+
+// CheckSeqTag reports whether the payload carries the tag PutSeqTag embeds
+// for seq. Empty payloads trivially match.
+//
+//nic:hotpath
+func CheckSeqTag(b []byte, seq uint64) bool {
+	n := len(b)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != byte(seq>>(8*uint(n-1-i))) {
+			return false
+		}
+	}
+	return true
+}

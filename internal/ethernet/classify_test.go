@@ -1,0 +1,95 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestAddressClassification(t *testing.T) {
+	if !IsBroadcast(Broadcast) || !IsMulticast(Broadcast) {
+		t.Fatal("broadcast must classify as broadcast and multicast")
+	}
+	unicast := MAC{0x02, 0, 0, 0, 0, 1}
+	if IsBroadcast(unicast) || IsMulticast(unicast) {
+		t.Fatal("locally-administered unicast misclassified")
+	}
+	group := MAC{0x01, 0x00, 0x5e, 0, 0, 1}
+	if !IsMulticast(group) || IsBroadcast(group) {
+		t.Fatal("IPv4-mapped group misclassified")
+	}
+}
+
+func TestAddressFilterAccept(t *testing.T) {
+	station := MAC{0x02, 0, 0, 0, 0, 2}
+	sub := MAC{0x01, 0x00, 0x5e, 0, 0, 1}
+	unsub := MAC{0x01, 0x00, 0x5e, 0, 0, 0x63}
+	f := &AddressFilter{Station: station, Groups: []MAC{sub}}
+
+	cases := []struct {
+		dst  MAC
+		want bool
+	}{
+		{Broadcast, true},
+		{station, true},
+		{MAC{0x02, 0, 0, 0, 0, 9}, false}, // someone else's unicast
+		{sub, true},
+		{unsub, false},
+	}
+	for _, c := range cases {
+		if got := f.Accept(c.dst); got != c.want {
+			t.Errorf("Accept(%v) = %v, want %v", c.dst, got, c.want)
+		}
+	}
+	empty := &AddressFilter{Station: station}
+	if empty.Accept(sub) {
+		t.Error("filter with no groups accepted a multicast frame")
+	}
+	if !empty.Accept(Broadcast) {
+		t.Error("filter with no groups rejected broadcast")
+	}
+}
+
+// TestSeqTagTruncation pins the truncated-tag format: the low-order
+// min(8, len) bytes of the sequence number, big-endian, so payloads of 8+
+// bytes carry exactly the historical binary.BigEndian.PutUint64 encoding.
+func TestSeqTagTruncation(t *testing.T) {
+	const seq uint64 = 0x1122334455667788
+	full := make([]byte, 8)
+	PutSeqTag(full, seq)
+	want := make([]byte, 8)
+	binary.BigEndian.PutUint64(want, seq)
+	if string(full) != string(want) {
+		t.Fatalf("8-byte tag %x, want PutUint64 encoding %x", full, want)
+	}
+	if !CheckSeqTag(full, seq) || CheckSeqTag(full, seq+1) {
+		t.Fatal("full tag verify broken")
+	}
+
+	for _, n := range []int{1, 2, 3, 7} {
+		b := make([]byte, n)
+		PutSeqTag(b, seq)
+		for i := 0; i < n; i++ {
+			wantByte := byte(seq >> (8 * uint(n-1-i)))
+			if b[i] != wantByte {
+				t.Fatalf("len %d byte %d = %#x, want %#x", n, i, b[i], wantByte)
+			}
+		}
+		if !CheckSeqTag(b, seq) {
+			t.Fatalf("len-%d tag does not verify", n)
+		}
+		if CheckSeqTag(b, seq+1) {
+			t.Fatalf("len-%d tag matched a different sequence", n)
+		}
+	}
+
+	// Sequences congruent modulo 2^(8n) collide by construction — the tag is
+	// a truncation — but the empty payload is the only always-match case.
+	if !CheckSeqTag(nil, 12345) {
+		t.Fatal("empty payload must trivially match")
+	}
+	three := make([]byte, 3)
+	PutSeqTag(three, 5)
+	if !CheckSeqTag(three, 5+(1<<24)) {
+		t.Fatal("truncated tag must match modulo 2^24 (documents the collision window)")
+	}
+}

@@ -41,6 +41,16 @@ const (
 
 	// EtherTypeIPv4 is the EtherType for IPv4.
 	EtherTypeIPv4 = 0x0800
+
+	// JumboMaxFrame is the maximum jumbo frame size including CRC: the
+	// conventional 9000-byte jumbo MTU plus headers and FCS. Jumbo support is
+	// opt-in per controller build (core.Config.JumboFrames); a standard MAC
+	// rejects anything over MaxFrame as oversize.
+	JumboMaxFrame = 9000 + HeaderBytes + CRCBytes // 9018
+	// JumboMaxPayload is the jumbo Ethernet payload limit (the jumbo MTU).
+	JumboMaxPayload = JumboMaxFrame - HeaderBytes - CRCBytes // 9000
+	// JumboMaxUDPPayload is the largest UDP datagram one jumbo frame carries.
+	JumboMaxUDPPayload = JumboMaxPayload - IPv4HeaderBytes - UDPHeaderBytes // 8972
 )
 
 // LinkGbps is the nominal link speed of the modeled network in Gb/s.
@@ -89,6 +99,27 @@ func FrameSizeForUDP(udpPayload int) int {
 	return payload + HeaderBytes + CRCBytes
 }
 
+// JumboFrameSizeForUDP returns the on-wire frame size (including CRC) that
+// carries a UDP datagram of the given size on a jumbo-enabled link.
+func JumboFrameSizeForUDP(udpPayload int) int {
+	payload := udpPayload + UDPHeaderBytes + IPv4HeaderBytes
+	if payload < MinPayload {
+		payload = MinPayload
+	}
+	if payload > JumboMaxPayload {
+		payload = JumboMaxPayload
+	}
+	return payload + HeaderBytes + CRCBytes
+}
+
+// JumboPayloadThroughputGbps is PayloadThroughputGbps for a jumbo-enabled
+// link: the Ethernet-limited UDP-payload throughput per direction when frames
+// may exceed the standard 1518-byte maximum.
+func JumboPayloadThroughputGbps(udpPayload int) float64 {
+	frame := JumboFrameSizeForUDP(udpPayload)
+	return FramesPerSecond(frame) * float64(udpPayload) * 8 / 1e9
+}
+
 // A MAC is a 48-bit Ethernet address.
 type MAC [6]byte
 
@@ -128,14 +159,19 @@ func (f *Frame) Marshal() []byte {
 	return buf
 }
 
-// Unmarshal parses a serialized frame, verifying length bounds and the frame
-// check sequence.
-func Unmarshal(b []byte) (*Frame, error) {
+// Unmarshal parses a serialized frame, verifying standard length bounds and
+// the frame check sequence.
+func Unmarshal(b []byte) (*Frame, error) { return UnmarshalMTU(b, MaxFrame) }
+
+// UnmarshalMTU parses a serialized frame against an explicit maximum frame
+// size (jumbo-enabled links pass JumboMaxFrame), verifying length bounds and
+// the frame check sequence.
+func UnmarshalMTU(b []byte, maxFrame int) (*Frame, error) {
 	if len(b) < MinFrame {
 		return nil, fmt.Errorf("ethernet: frame too short: %d bytes", len(b))
 	}
-	if len(b) > MaxFrame {
-		return nil, fmt.Errorf("ethernet: frame too long: %d bytes", len(b))
+	if len(b) > maxFrame {
+		return nil, fmt.Errorf("ethernet: frame too long: %d bytes (max %d)", len(b), maxFrame)
 	}
 	body, fcsBytes := b[:len(b)-CRCBytes], b[len(b)-CRCBytes:]
 	want := binary.LittleEndian.Uint32(fcsBytes)

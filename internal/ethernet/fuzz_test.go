@@ -1,0 +1,96 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalRoundTrip throws arbitrary byte strings at the frame parser
+// (at both the standard and jumbo MTU) and checks the two contracts the MAC
+// path depends on: no input panics, and every accepted frame re-marshals to
+// the exact input bytes.
+func FuzzUnmarshalRoundTrip(f *testing.F) {
+	mk := func(payloadLen int) []byte {
+		p := make([]byte, payloadLen)
+		for i := range p {
+			p[i] = byte(i * 7)
+		}
+		fr := &Frame{
+			Dst: MAC{0x02, 0, 0, 0, 0, 2}, Src: MAC{0x02, 0, 0, 0, 0, 1},
+			EtherType: EtherTypeIPv4, Payload: p,
+		}
+		return fr.Marshal()
+	}
+	valid := mk(100)
+	f.Add(valid)
+	f.Add(mk(MinPayload))
+	f.Add(mk(MaxPayload))
+	f.Add(mk(JumboMaxPayload))
+	f.Add(valid[:10])                            // truncated below the header
+	f.Add(valid[:len(valid)-1])                  // truncated CRC
+	f.Add(append(append([]byte{}, valid...), 0)) // trailing garbage breaks the CRC
+	f.Add(make([]byte, MaxFrame+1))              // oversized for the standard MTU
+	f.Add(make([]byte, JumboMaxFrame+1))         // oversized for both MTUs
+	f.Add([]byte{})
+	corrupt := append([]byte{}, valid...)
+	corrupt[20] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := Unmarshal(b)
+		if err == nil {
+			if len(b) < MinFrame || len(b) > MaxFrame {
+				t.Fatalf("Unmarshal accepted out-of-range length %d", len(b))
+			}
+			if out := fr.Marshal(); !bytes.Equal(out, b) {
+				t.Fatalf("round-trip mismatch: in %d bytes, out %d bytes", len(b), len(out))
+			}
+		}
+		jfr, jerr := UnmarshalMTU(b, JumboMaxFrame)
+		if err == nil && jerr != nil {
+			t.Fatalf("standard-MTU frame rejected at jumbo MTU: %v", jerr)
+		}
+		if jerr == nil {
+			if len(b) < MinFrame || len(b) > JumboMaxFrame {
+				t.Fatalf("UnmarshalMTU accepted out-of-range length %d", len(b))
+			}
+			if out := jfr.Marshal(); !bytes.Equal(out, b) {
+				t.Fatalf("jumbo round-trip mismatch: in %d bytes, out %d bytes", len(b), len(out))
+			}
+		}
+	})
+}
+
+// FuzzParseUDPIPv4 checks that the UDP/IPv4 parser never panics and that
+// every accepted packet survives a marshal/parse round trip with identical
+// addressing, identity, and payload.
+func FuzzParseUDPIPv4(f *testing.F) {
+	p := &UDPPacket{
+		SrcIP: IPv4Addr{10, 0, 0, 1}, DstIP: IPv4Addr{10, 0, 0, 2},
+		SrcPort: 5001, DstPort: 5002, ID: 7,
+		Payload: []byte("hello, nic"),
+	}
+	valid := p.MarshalIPv4()
+	f.Add(valid)
+	f.Add(valid[:8])                             // truncated inside the IP header
+	f.Add(valid[:len(valid)-3])                  // truncated payload
+	f.Add(append(append([]byte{}, valid...), 1)) // frame-style trailing padding
+	f.Add(make([]byte, 64))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pkt, err := ParseUDPIPv4(b)
+		if err != nil {
+			return
+		}
+		again, err := ParseUDPIPv4(pkt.MarshalIPv4())
+		if err != nil {
+			t.Fatalf("re-parse of accepted packet failed: %v", err)
+		}
+		if again.SrcIP != pkt.SrcIP || again.DstIP != pkt.DstIP ||
+			again.SrcPort != pkt.SrcPort || again.DstPort != pkt.DstPort ||
+			again.ID != pkt.ID || !bytes.Equal(again.Payload, pkt.Payload) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", pkt, again)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/smpcache"
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 // Spec ordering and parallelism encodings (sweep.Spec is pure data; the
@@ -80,6 +81,11 @@ func ConfigFor(s sweep.Spec) (core.Config, error) {
 	default:
 		return core.Config{}, fmt.Errorf("experiments: unknown parallelism %q", s.Parallelism)
 	}
+	// The jumbo traffic class implies a jumbo-capable build: wider MAC
+	// admission limit and firmware buffer slots.
+	if s.Traffic != nil && s.Traffic.Class == workload.ClassJumbo {
+		cfg.JumboFrames = true
+	}
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, fmt.Errorf("experiments: invalid spec: %w", err)
 	}
@@ -105,7 +111,7 @@ func Simulate(ctx context.Context, j sweep.Job) (sweep.Outcome, error) {
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
-		r, costs, err := simulate(ctx, cfg, j.Spec.UDPSize, b, j.Spec.Faults)
+		r, costs, err := simulate(ctx, cfg, j.Spec, b)
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
@@ -137,13 +143,25 @@ var TickProfile bool
 // report JSON, sweeps comparing against stored baselines must leave it off.
 var Observe bool
 
-// simulate runs one configuration with cooperative cancellation, attaching
-// the fault plan (if any) before the run starts.
-func simulate(ctx context.Context, cfg core.Config, udpSize int, b Budget, plan *faults.Plan) (core.Report, []sim.DomainCost, error) {
+// simulate runs one spec with cooperative cancellation, attaching the
+// adversarial traffic class, fault plan, and SLO the spec declares (if any)
+// before the run starts.
+func simulate(ctx context.Context, cfg core.Config, s sweep.Spec, b Budget) (core.Report, []sim.DomainCost, error) {
 	n := core.New(cfg)
-	n.AttachWorkload(udpSize, false)
-	if plan != nil {
-		if err := n.AttachFaults(*plan); err != nil {
+	if s.Traffic != nil {
+		if err := n.AttachTraffic(s.UDPSize, *s.Traffic, false); err != nil {
+			return core.Report{}, nil, err
+		}
+	} else {
+		n.AttachWorkload(s.UDPSize, false)
+	}
+	if s.Faults != nil {
+		if err := n.AttachFaults(*s.Faults); err != nil {
+			return core.Report{}, nil, err
+		}
+	}
+	if s.SLO != nil {
+		if err := n.AttachSLO(*s.SLO); err != nil {
 			return core.Report{}, nil, err
 		}
 	}
@@ -511,6 +529,11 @@ func Suites() []Suite {
 			Key: "faults", Desc: "robustness under the reference fault plan",
 			Jobs:  FaultJobs,
 			Print: PrintFaults,
+		},
+		{
+			Key: "robustness", Desc: "adversarial traffic matrix with gated latency SLOs (used by -check)",
+			Jobs:  RobustnessJobs,
+			Print: PrintRobustness,
 		},
 		{
 			Key: "gate", Desc: "regression gate points (used by -check)",

@@ -189,8 +189,14 @@ type Firmware struct {
 }
 
 // New wires a firmware instance to the memory system, host, and assists,
-// and installs its callbacks on the assists.
-func New(prof Profile, sp *mem.Scratchpad, hst *host.Host, as Assists, nCores int, txSlots, rxSlots int) *Firmware {
+// and installs its callbacks on the assists. slotBytes sizes the SDRAM frame
+// buffer slots; zero means the standard 1530 bytes (a maximum frame plus
+// slack, deliberately not 8-byte aligned), and jumbo-enabled builds pass a
+// slot large enough for a jumbo frame.
+func New(prof Profile, sp *mem.Scratchpad, hst *host.Host, as Assists, nCores int, txSlots, rxSlots int, slotBytes uint32) *Firmware {
+	if slotBytes == 0 {
+		slotBytes = 1530
+	}
 	fw := &Firmware{
 		Prof:      prof,
 		sp:        sp,
@@ -198,13 +204,12 @@ func New(prof Profile, sp *mem.Scratchpad, hst *host.Host, as Assists, nCores in
 		as:        as,
 		sendFlags: mem.NewBitArray(sp, FlagsSend, FlagBits),
 		recvFlags: mem.NewBitArray(sp, FlagsRecv, FlagBits),
-		// Slot size 1530: holds a maximum frame, not 8-byte aligned.
-		txRing:   newSlotRing(0x000000, 1530, txSlots),
-		rxRing:   newSlotRing(0x800000, 1530, rxSlots),
-		sendRing: make([]*sendFrame, FlagBits),
-		recvRing: make([]*recvFrame, FlagBits),
-		cont:     make([][]*cpu.Stream, nCores),
-		nCores:   nCores,
+		txRing:    newSlotRing(0x000000, slotBytes, txSlots),
+		rxRing:    newSlotRing(0x800000, slotBytes, rxSlots),
+		sendRing:  make([]*sendFrame, FlagBits),
+		recvRing:  make([]*recvFrame, FlagBits),
+		cont:      make([][]*cpu.Stream, nCores),
+		nCores:    nCores,
 	}
 	as.MACRx.Alloc = func(size int, handle any) (uint32, bool) {
 		addr, _, ok := fw.rxRing.alloc()

@@ -20,11 +20,38 @@ import (
 // Frame is one Ethernet frame travelling through the system. Wire holds the
 // full serialized frame (including CRC) when the workload is configured to
 // carry real bytes; timing-only studies leave it nil.
+//
+// Dst, BadCRC, and Crit describe wire-level properties the adversarial
+// workloads exercise: the destination address (zero means "addressed to the
+// station", the legacy timing-only default), an arriving frame whose frame
+// check sequence fails at the MAC, and a latency-critical frame of the
+// two-level priority split. All three are zero for the paper's baseline
+// workloads.
 type Frame struct {
 	Seq     uint64
 	UDPSize int
 	Size    int // on-wire frame size including CRC
 	Wire    []byte
+
+	Dst    ethernet.MAC
+	BadCRC bool
+	Crit   bool
+}
+
+// RxBadCRC implements the MAC's frame-metadata interface: whether this frame
+// arrives with a failing frame check sequence.
+//
+//nic:hotpath
+func (f *Frame) RxBadCRC() bool { return f.BadCRC }
+
+// RxDst implements the MAC's frame-metadata interface: the destination
+// address, with ok=false when the workload did not address the frame (legacy
+// timing-only streams), in which case address filters pass it.
+//
+//nic:hotpath
+func (f *Frame) RxDst() (ethernet.MAC, bool) {
+	var zero ethernet.MAC
+	return f.Dst, f.Dst != zero
 }
 
 // HeaderBytes is the discontiguous header region of a sent frame: Ethernet,
@@ -123,8 +150,13 @@ type Host struct {
 	RecvBytes     stats.Counter // UDP payload bytes delivered to the host
 	RecvOutOfOrd  stats.Counter
 	RecvCorrupt   stats.Counter
+	RecvCritical  stats.Counter // delivered frames marked latency-critical
 	nextRecvSeq   uint64
 	haveRecvSeq   bool
+
+	// JumboFrames widens payload validation to the jumbo frame limit,
+	// matching a jumbo-enabled MAC.
+	JumboFrames bool
 
 	// OnDeliver observes every frame handed to the host (tests, examples).
 	OnDeliver func(*Frame)
@@ -317,8 +349,11 @@ func (h *Host) DeliverFrame(f *Frame) {
 	}
 	h.nextRecvSeq = f.Seq + 1
 	h.haveRecvSeq = true
+	if f.Crit {
+		h.RecvCritical.Inc()
+	}
 	if f.Wire != nil {
-		if err := validateFrame(f); err != nil {
+		if err := validateFrame(f, h.JumboFrames); err != nil {
 			h.RecvCorrupt.Inc()
 		}
 	}
@@ -327,10 +362,14 @@ func (h *Host) DeliverFrame(f *Frame) {
 	}
 }
 
-// validateFrame checks the Ethernet FCS and UDP checksum of a delivered
-// frame.
-func validateFrame(f *Frame) error {
-	fr, err := ethernet.Unmarshal(f.Wire)
+// validateFrame checks the Ethernet FCS, the UDP checksum, and the embedded
+// sequence tag of a delivered frame.
+func validateFrame(f *Frame, jumbo bool) error {
+	maxFrame := ethernet.MaxFrame
+	if jumbo {
+		maxFrame = ethernet.JumboMaxFrame
+	}
+	fr, err := ethernet.UnmarshalMTU(f.Wire, maxFrame)
 	if err != nil {
 		return err
 	}
@@ -340,6 +379,9 @@ func validateFrame(f *Frame) error {
 	}
 	if len(p.Payload) != f.UDPSize {
 		return fmt.Errorf("host: UDP size %d, want %d", len(p.Payload), f.UDPSize)
+	}
+	if !ethernet.CheckSeqTag(p.Payload, f.Seq) {
+		return fmt.Errorf("host: payload sequence tag does not match seq %d", f.Seq)
 	}
 	return nil
 }

@@ -17,13 +17,27 @@ func Metrics(r Result) map[string]float64 {
 		return nil
 	}
 	rep := r.Report
-	return map[string]float64{
+	m := map[string]float64{
 		"total_gbps":     rep.TotalGbps,
 		"line_fraction":  rep.LineFraction,
 		"ipc":            rep.IPC,
 		"scratch_gbps":   rep.ScratchGbps,
 		"frame_mem_gbps": rep.FrameMemGbps,
 	}
+	// Robustness sections gate too, when the run produced them: SLO
+	// violations (a committed 0 means any violation fails the gate), rejected
+	// hostile-frame counts, and observed tail latencies.
+	if rep.SLO != nil {
+		m["slo_violations"] = float64(rep.SLO.Violations)
+	}
+	if rep.Traffic != nil {
+		m["hostile_rejected"] = float64(rep.Traffic.HostileRejected())
+	}
+	if rep.Latency != nil {
+		m["recv_p99_us"] = rep.Latency.Recv.P99Us
+		m["send_p99_us"] = rep.Latency.Send.P99Us
+	}
+	return m
 }
 
 // Baseline is one golden configuration point.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Spec kinds. KindNIC is a full-controller simulation yielding a
@@ -63,6 +64,14 @@ type Spec struct {
 	// Nil (the fault-free case) is omitted from the JSON encoding, so every
 	// pre-existing spec hash is unchanged.
 	Faults *faults.Plan `json:"faults,omitempty"`
+
+	// Traffic is an optional adversarial traffic class and arrival process
+	// replacing the baseline full-duplex uniform stream. SLO is an optional
+	// latency/drop objective evaluated into the report. Both are nil on
+	// baseline runs and omitted from the JSON encoding, so every pre-existing
+	// spec hash is unchanged.
+	Traffic *workload.TrafficSpec `json:"traffic,omitempty"`
+	SLO     *core.SLO             `json:"slo,omitempty"`
 }
 
 // specSchema is folded into every hash so that incompatible changes to the

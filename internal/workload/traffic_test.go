@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/host"
+)
+
+// TestGeneratorTinyPayloadSeqTag covers the truncated sequence tag: payloads
+// smaller than 8 bytes still carry a verifiable (truncated) tag, so even the
+// smallest datagrams get end-to-end integrity checking.
+func TestGeneratorTinyPayloadSeqTag(t *testing.T) {
+	for _, udp := range []int{1, 2, 4, 7, 8, 18} {
+		g := NewGenerator(udp, true)
+		for i := 0; i < 300; i++ {
+			f := g.Frame()
+			fr, err := ethernet.Unmarshal(f.Wire)
+			if err != nil {
+				t.Fatalf("udp %d seq %d: %v", udp, f.Seq, err)
+			}
+			p, err := ethernet.ParseUDPIPv4(fr.Payload)
+			if err != nil {
+				t.Fatalf("udp %d seq %d: %v", udp, f.Seq, err)
+			}
+			if len(p.Payload) != udp {
+				t.Fatalf("udp %d: payload length %d", udp, len(p.Payload))
+			}
+			if !ethernet.CheckSeqTag(p.Payload, f.Seq) {
+				t.Fatalf("udp %d seq %d: sequence tag does not verify", udp, f.Seq)
+			}
+			if udp >= 2 && i > 0 && ethernet.CheckSeqTag(p.Payload, f.Seq-1) {
+				t.Fatalf("udp %d seq %d: tag matched the previous sequence", udp, f.Seq)
+			}
+		}
+	}
+}
+
+func TestParseTraffic(t *testing.T) {
+	good := []struct {
+		in   string
+		want TrafficSpec
+	}{
+		{"uniform", TrafficSpec{Class: ClassUniform}},
+		{"badcrc", TrafficSpec{Class: ClassBadCRC}},
+		{"mcast,burst", TrafficSpec{Class: ClassMcast, Arrival: ArrivalBurst}},
+		{"mixed,pareto,seed=7", TrafficSpec{Class: ClassMixed, Arrival: ArrivalPareto, Seed: 7}},
+		{"jumbo,saturate", TrafficSpec{Class: ClassJumbo}}, // saturate normalizes to ""
+		{"priority,sync,seed=-3", TrafficSpec{Class: ClassPriority, Arrival: ArrivalSync, Seed: -3}},
+	}
+	for _, c := range good {
+		got, err := ParseTraffic(c.in)
+		if err != nil {
+			t.Fatalf("ParseTraffic(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseTraffic(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", "bogus", "runt,bogus", "runt,burst,extra", "runt,seed=x"} {
+		if _, err := ParseTraffic(in); err == nil {
+			t.Fatalf("ParseTraffic(%q) accepted", in)
+		}
+	}
+}
+
+// TestAdversaryDeterminism: two adversaries with the same spec must emit an
+// identical (size, gap) schedule — the property the sweep's byte-for-byte
+// report determinism rests on.
+func TestAdversaryDeterminism(t *testing.T) {
+	for _, spec := range []TrafficSpec{
+		{Class: ClassUniform, Arrival: ArrivalBurst, Seed: 3},
+		{Class: ClassRunt, Seed: 3},
+		{Class: ClassMixed, Arrival: ArrivalPareto, Seed: 3},
+		{Class: ClassPriority, Arrival: ArrivalSync, Seed: 3},
+	} {
+		a := NewAdversary(spec, 1472, false)
+		b := NewAdversary(spec, 1472, false)
+		for i := 0; i < 20000; i++ {
+			sa, fa, oka := a.Next()
+			sb, fb, okb := b.Next()
+			if sa != sb || oka != okb || (fa == nil) != (fb == nil) {
+				t.Fatalf("%s: schedules diverge at poll %d", spec.Class, i)
+			}
+			if oka {
+				ha, hb := fa.(*host.Frame), fb.(*host.Frame)
+				if ha.Seq != hb.Seq || ha.Size != hb.Size || ha.Dst != hb.Dst ||
+					ha.BadCRC != hb.BadCRC || ha.Crit != hb.Crit {
+					t.Fatalf("%s: frames diverge at poll %d", spec.Class, i)
+				}
+			}
+		}
+		if a.Offered.Value() != b.Offered.Value() ||
+			a.HostileOffered.Value() != b.HostileOffered.Value() {
+			t.Fatalf("%s: counters diverge", spec.Class)
+		}
+	}
+}
+
+// TestAdversaryClasses drains each class and checks it emits the hostile mix
+// it advertises.
+func TestAdversaryClasses(t *testing.T) {
+	drain := func(spec TrafficSpec, polls int) (*Adversary, []*host.Frame) {
+		a := NewAdversary(spec, 1472, false)
+		var out []*host.Frame
+		for i := 0; i < polls; i++ {
+			if _, h, ok := a.Next(); ok {
+				out = append(out, h.(*host.Frame))
+			}
+		}
+		return a, out
+	}
+
+	a, frames := drain(TrafficSpec{Class: ClassRunt}, 2000)
+	if a.HostileOffered.Value() == 0 {
+		t.Fatal("runt class offered no hostile frames")
+	}
+	var runts, wellFormed int
+	for _, f := range frames {
+		if f.Size == RuntFrameSize {
+			runts++
+		} else if f.Size == ethernet.FrameSizeForUDP(1472) {
+			wellFormed++
+		} else {
+			t.Fatalf("unexpected frame size %d", f.Size)
+		}
+	}
+	if runts == 0 || wellFormed == 0 {
+		t.Fatalf("runt class mix: %d runts, %d well-formed", runts, wellFormed)
+	}
+
+	a, frames = drain(TrafficSpec{Class: ClassOversize}, 2000)
+	found := false
+	for _, f := range frames {
+		if f.Size == OversizeFrameSize {
+			found = true
+			if f.Size <= ethernet.MaxFrame || f.Size > ethernet.JumboMaxFrame {
+				t.Fatalf("oversize frame size %d outside (%d, %d]", f.Size, ethernet.MaxFrame, ethernet.JumboMaxFrame)
+			}
+		}
+	}
+	if !found || a.HostileOffered.Value() == 0 {
+		t.Fatal("oversize class offered no oversize frames")
+	}
+
+	_, frames = drain(TrafficSpec{Class: ClassBadCRC}, 2000)
+	bad := 0
+	for _, f := range frames {
+		if f.BadCRC {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("badcrc class offered no bad-CRC frames")
+	}
+
+	_, frames = drain(TrafficSpec{Class: ClassMcast}, 400)
+	dsts := map[ethernet.MAC]int{}
+	for _, f := range frames {
+		dsts[f.Dst]++
+	}
+	for _, want := range []ethernet.MAC{StationMAC, ethernet.Broadcast, SubscribedGroup, UnsubscribedGroup} {
+		if dsts[want] == 0 {
+			t.Fatalf("mcast rotation never hit %v (got %v)", want, dsts)
+		}
+	}
+	filter := StationFilter()
+	for dst := range dsts {
+		if !filter.Accept(dst) && dst != UnsubscribedGroup {
+			t.Fatalf("station filter rejects %v", dst)
+		}
+	}
+	if filter.Accept(UnsubscribedGroup) {
+		t.Fatal("station filter accepts the unsubscribed group")
+	}
+
+	a, frames = drain(TrafficSpec{Class: ClassPriority}, 2000)
+	if a.CritOffered.Value() == 0 {
+		t.Fatal("priority class offered no critical frames")
+	}
+	for _, f := range frames {
+		if f.Crit && f.UDPSize != CritUDPSize {
+			t.Fatalf("critical frame has UDP size %d", f.UDPSize)
+		}
+	}
+
+	_, frames = drain(TrafficSpec{Class: ClassMixed}, 2000)
+	sizes := map[int]bool{}
+	for _, f := range frames {
+		sizes[f.UDPSize] = true
+	}
+	if len(sizes) < 4 {
+		t.Fatalf("mixed class drew only %d distinct sizes", len(sizes))
+	}
+}
+
+// TestArrivalGapsAndTxGate: bursty arrivals must include idle polls, and the
+// synchronized-burst arrival must gate the transmit side during off phases.
+func TestArrivalGapsAndTxGate(t *testing.T) {
+	a := NewAdversary(TrafficSpec{Class: ClassUniform, Arrival: ArrivalBurst, Seed: 1}, 1472, false)
+	idle, busy := 0, 0
+	for i := 0; i < 20000; i++ {
+		if _, _, ok := a.Next(); ok {
+			busy++
+		} else {
+			idle++
+		}
+	}
+	if idle == 0 || busy == 0 {
+		t.Fatalf("burst arrival produced %d idle, %d busy polls", idle, busy)
+	}
+
+	sync := NewAdversary(TrafficSpec{Class: ClassUniform, Arrival: ArrivalSync, Seed: 1}, 1472, false)
+	gs := &GatedSender{G: NewGenerator(1472, false), Adv: sync}
+	gatedOff, gatedOn := 0, 0
+	for i := 0; i < 20000; i++ {
+		sync.Next()
+		if gs.Next() == nil {
+			gatedOff++
+		} else {
+			gatedOn++
+		}
+	}
+	if gatedOff == 0 || gatedOn == 0 {
+		t.Fatalf("sync gate: %d off, %d on", gatedOff, gatedOn)
+	}
+
+	sat := NewAdversary(TrafficSpec{Class: ClassUniform}, 1472, false)
+	for i := 0; i < 100; i++ {
+		if _, _, ok := sat.Next(); !ok {
+			t.Fatal("saturating arrival went idle")
+		}
+		if !sat.TxGate() {
+			t.Fatal("saturating arrival gated transmit")
+		}
+	}
+}

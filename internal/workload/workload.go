@@ -5,8 +5,6 @@
 package workload
 
 import (
-	"encoding/binary"
-
 	"repro/internal/ethernet"
 	"repro/internal/host"
 	"repro/internal/stats"
@@ -19,6 +17,9 @@ import (
 type Generator struct {
 	UDPSize     int
 	WithPayload bool
+	// Jumbo sizes frames with the jumbo frame limit, allowing datagrams up
+	// to ethernet.JumboMaxUDPPayload. Requires a jumbo-enabled controller.
+	Jumbo bool
 
 	seq     uint64
 	payload []byte
@@ -38,16 +39,20 @@ func NewGenerator(udpSize int, withPayload bool) *Generator {
 
 // Frame produces the next frame in the stream.
 func (g *Generator) Frame() *host.Frame {
+	size := ethernet.FrameSizeForUDP(g.UDPSize)
+	if g.Jumbo {
+		size = ethernet.JumboFrameSizeForUDP(g.UDPSize)
+	}
 	f := &host.Frame{
 		Seq:     g.seq,
 		UDPSize: g.UDPSize,
-		Size:    ethernet.FrameSizeForUDP(g.UDPSize),
+		Size:    size,
 	}
 	g.seq++
 	if g.WithPayload {
-		if len(g.payload) >= 8 {
-			binary.BigEndian.PutUint64(g.payload, f.Seq)
-		}
+		// Embed the (possibly truncated) sequence tag so the host-side sink
+		// validates in-order delivery even for the smallest Figure-8 sizes.
+		ethernet.PutSeqTag(g.payload, f.Seq)
 		p := &ethernet.UDPPacket{
 			SrcIP: ethernet.IPv4Addr{10, 0, 0, 1}, DstIP: ethernet.IPv4Addr{10, 0, 0, 2},
 			SrcPort: 5001, DstPort: 5002,
