@@ -349,9 +349,9 @@ func run() int {
 }
 
 // selectSuites maps the flag surface to suite keys, in presentation order.
-// gateDefault selects the gated suites — gate and robustness, whose points
-// are both pinned in the baseline file — when nothing else is named (the
-// -check / -update-baseline default).
+// gateDefault selects the gated suites — gate, robustness, and rss, whose
+// points are all pinned in the baseline file — when nothing else is named
+// (the -check / -update-baseline default).
 func selectSuites(table, figure int, ablation, suiteList string, all, gateDefault bool) ([]experiments.Suite, error) {
 	want := map[string]bool{}
 	if all {
@@ -391,6 +391,7 @@ func selectSuites(table, figure int, ablation, suiteList string, all, gateDefaul
 	if len(want) == 0 && gateDefault {
 		want["gate"] = true
 		want["robustness"] = true
+		want["rss"] = true
 	}
 	var sel []experiments.Suite
 	for _, s := range experiments.Suites() {

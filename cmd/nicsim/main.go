@@ -26,9 +26,11 @@ func main() {
 	measure := flag.Float64("measure", 500, "measurement time in microseconds")
 	payload := flag.Bool("payload", false, "carry and verify real frame bytes")
 	faultFlag := flag.String("faults", "", `fault plan: "ref" for the reference plan, compact syntax ("seed=1;rx_drop@250us*4,..."), or @file.json`)
-	trafficFlag := flag.String("traffic", "", `adversarial traffic "class[,arrival][,seed=N]", e.g. "badcrc", "mcast,burst", "mixed,pareto,seed=7" (classes: uniform, jumbo, runt, oversize, badcrc, mcast, mixed, priority; arrivals: saturate, burst, pareto, sync)`)
+	trafficFlag := flag.String("traffic", "", `adversarial traffic "class[,arrival][,seed=N][,flows=N]", e.g. "badcrc", "mcast,burst", "mixed,pareto,seed=7", "uniform,flows=64" (classes: uniform, jumbo, runt, oversize, badcrc, mcast, mixed, priority; arrivals: saturate, burst, pareto, sync)`)
 	sloFlag := flag.String("slo", "", `latency/drop objective "recv_p99_us=40,send_p99_us=40,max_drop_frac=0.01"; empty values gate only survival (ordering, invariants, progress)`)
 	jumbo := flag.Bool("jumbo", false, "build a jumbo-capable controller (implied by -traffic jumbo)")
+	rxqueues := flag.Int("rxqueues", 1, "RSS receive queues (power of two; 1 = the single-ring controller)")
+	steering := flag.String("steering", "", `RSS steering policy: "hash" (default), "rr", "flow"`)
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto or chrome://tracing)")
 	latency := flag.Bool("latency", false, "enable frame-lifecycle observation and report latency percentiles")
@@ -45,6 +47,10 @@ func main() {
 	if *taskpar {
 		cfg.Parallelism = firmware.TaskParallel
 	}
+	if *rxqueues != 1 {
+		cfg.RxQueues = *rxqueues
+	}
+	cfg.Steering = *steering
 	var traffic *workload.TrafficSpec
 	if *trafficFlag != "" {
 		ts, err := workload.ParseTraffic(*trafficFlag)

@@ -168,11 +168,11 @@ func TestReceivePathDeliversToHostInOrder(t *testing.T) {
 		return a, true
 	}
 	delivered := 0
-	r.rx.OnReceive = func(buf uint32, size int, handle any) {
+	r.rx.OnReceive = func(buf uint32, size int, handle any, queue int) {
 		f := handle.(*host.Frame)
 		r.dmaWr.WriteFrame(buf, size, func() {
-			r.h.TakeRecvBDs(1)
-			r.h.DeliverFrame(f)
+			r.h.TakeRecvBDs(queue, 1)
+			r.h.DeliverFrame(f, queue)
 			delivered++
 		})
 	}
@@ -218,11 +218,11 @@ func TestFullDuplexSimultaneousStreams(t *testing.T) {
 		return a, true
 	}
 	delivered := 0
-	r.rx.OnReceive = func(buf uint32, size int, handle any) {
+	r.rx.OnReceive = func(buf uint32, size int, handle any, queue int) {
 		f := handle.(*host.Frame)
 		r.dmaWr.WriteFrame(buf, size, func() {
-			r.h.TakeRecvBDs(1)
-			r.h.DeliverFrame(f)
+			r.h.TakeRecvBDs(queue, 1)
+			r.h.DeliverFrame(f, queue)
 			delivered++
 		})
 	}

@@ -173,7 +173,21 @@ type MACRx struct {
 	// it (receive buffer exhausted).
 	Alloc func(size int, handle any) (bufAddr uint32, ok bool)
 	// OnReceive fires when a frame is fully in the SDRAM receive buffer.
-	OnReceive func(bufAddr uint32, size int, handle any)
+	// queue is the RSS receive queue the frame was steered to (always 0
+	// with a single queue).
+	OnReceive func(bufAddr uint32, size int, handle any, queue int)
+
+	// Queues is the number of RSS receive queues frames are steered across;
+	// zero or one disables steering (every frame lands on queue 0, and the
+	// flow hash is never computed — the seed single-queue path).
+	Queues int
+	// Steer selects the queue for each admitted frame from its flow hash;
+	// nil falls back to static hash-mod steering.
+	Steer Steering
+	// QueueFrames/QueueDrops, when sized by the integration layer, count
+	// accepted frames and buffer-exhaustion drops per receive queue.
+	QueueFrames []stats.Counter
+	QueueDrops  []stats.Counter
 	// FaultVerdict, when non-nil, is consulted per arriving frame before
 	// staging: RxFaultDrop models a frame lost on the wire, RxFaultCorrupt a
 	// frame arriving with a bad CRC. Both are discarded by the MAC before
@@ -278,18 +292,25 @@ func (m *MACRx) frameArrived(size int, handle any) {
 	if !m.admit(size, handle) {
 		return
 	}
+	// Steering happens after admission, exactly where a hardware RSS stage
+	// sits: malformed frames never consume a hash, and buffer-exhaustion
+	// drops are attributed to the queue the frame would have landed on.
+	q := m.queueFor(handle)
 	if m.staged >= 2 || m.Alloc == nil {
-		m.Drops.Inc()
+		m.dropQ(q)
 		return
 	}
 	addr, ok := m.Alloc(size, handle)
 	if !ok {
-		m.Drops.Inc()
+		m.dropQ(q)
 		return
 	}
 	m.staged++
 	m.RxFrames.Inc()
 	m.RxBytes.Add(uint64(size))
+	if q < len(m.QueueFrames) {
+		m.QueueFrames[q].Inc()
+	}
 	// The frame is accepted: this instant is its receive-latency origin.
 	// Accepted frames always reach OnReceive (the SDRAM write cannot fail)
 	// and acquire firmware indices in this order, so the origin FIFO pairing
@@ -301,10 +322,39 @@ func (m *MACRx) frameArrived(size int, handle any) {
 			m.staged--
 			m.Port.Write(m.ProgressAddr, m.progressInc)
 			if m.OnReceive != nil {
-				m.OnReceive(addr, size, handle)
+				m.OnReceive(addr, size, handle, q)
 			}
 		},
 	})
+}
+
+// queueFor steers one admitted frame: hash the flow identity the handle
+// exposes and let the policy map it to a queue. Single-queue configurations
+// skip the hash entirely — the seed receive path, bit for bit.
+//
+//nic:hotpath
+func (m *MACRx) queueFor(handle any) int {
+	if m.Queues <= 1 {
+		return 0
+	}
+	var hash uint32
+	if meta, ok := handle.(RxFlowMeta); ok {
+		src, dst, srcPort, dstPort := meta.RxFlow()
+		hash = FlowHash(src, dst, srcPort, dstPort)
+	}
+	if m.Steer == nil {
+		return int(hash % uint32(m.Queues))
+	}
+	return m.Steer.Select(hash, m.Queues)
+}
+
+// dropQ counts a buffer-exhaustion drop globally and against the queue the
+// frame was steered to.
+func (m *MACRx) dropQ(q int) {
+	m.Drops.Inc()
+	if q < len(m.QueueDrops) {
+		m.QueueDrops[q].Inc()
+	}
 }
 
 // admit applies the deterministic wire-validity checks a hardware MAC makes

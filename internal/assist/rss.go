@@ -1,0 +1,148 @@
+package assist
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+)
+
+// Receive-side scaling (RSS). The firmware's single receive path serializes
+// every arriving frame through one host ring; with many concurrent flows
+// that ring — and the one host core draining it — saturates long before the
+// link does. RSS spreads arrivals over per-core receive queues using a
+// deterministic hash of the flow identity, so each queue preserves
+// per-flow ordering while queues drain in parallel.
+//
+// The hash is the classic Toeplitz construction (the one NIC hardware
+// implements): the 32-bit output is the XOR of a sliding 32-bit window of a
+// secret key, advanced one bit per input bit, gated by the input bits. The
+// same key and tuple always land a flow on the same queue, which is the
+// property per-flow in-order delivery depends on.
+
+// rssKey is the Microsoft reference RSS key, the de-facto standard test key
+// used by hardware verification suites. Fixed (not configurable) so results
+// are reproducible across runs and hosts.
+var rssKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Toeplitz computes the Toeplitz hash of data under key: for every set bit
+// of the input, XOR in the 32-bit key window aligned at that bit position.
+// The key must be at least len(data)+4 bytes.
+func Toeplitz(key, data []byte) uint32 {
+	var hash uint32
+	window := uint32(key[0])<<24 | uint32(key[1])<<16 | uint32(key[2])<<8 | uint32(key[3])
+	j := 0 // input bit index; key bit 32+j feeds the window's low end
+	for _, b := range data {
+		for bit := 7; bit >= 0; bit-- {
+			if b&(1<<uint(bit)) != 0 {
+				hash ^= window
+			}
+			window <<= 1
+			if kbit := 32 + j; kbit < len(key)*8 && key[kbit/8]&(1<<uint(7-kbit%8)) != 0 {
+				window |= 1
+			}
+			j++
+		}
+	}
+	return hash
+}
+
+// FlowHash hashes the flow identity the MAC can see without parsing the
+// payload: source and destination MAC plus the UDP port pair, 16 bytes in
+// network order.
+func FlowHash(src, dst ethernet.MAC, srcPort, dstPort uint16) uint32 {
+	var tuple [16]byte
+	copy(tuple[0:6], src[:])
+	copy(tuple[6:12], dst[:])
+	tuple[12] = byte(srcPort >> 8)
+	tuple[13] = byte(srcPort)
+	tuple[14] = byte(dstPort >> 8)
+	tuple[15] = byte(dstPort)
+	return Toeplitz(rssKey[:], tuple[:])
+}
+
+// RxFlowMeta is implemented by receive handles that carry flow identity.
+// Frames whose handles do not implement it hash as the zero tuple and land
+// on one queue — the conservative fallback for anonymous traffic.
+type RxFlowMeta interface {
+	RxFlow() (src, dst ethernet.MAC, srcPort, dstPort uint16)
+}
+
+// Steering maps a flow hash to a receive queue index in [0, queues).
+type Steering interface {
+	// Name reports the policy's canonical configuration name.
+	Name() string
+	// Select picks the queue for one admitted frame. Policies may keep
+	// state (round-robin counters, flow tables); calls happen in arrival
+	// order, so stateful policies stay deterministic.
+	Select(hash uint32, queues int) int
+}
+
+// SteeringNames lists the accepted steering policy names, in the order
+// they are documented. The empty string is an alias for "hash".
+var SteeringNames = []string{"hash", "rr", "flow"}
+
+// NewSteering builds a steering policy by name. The empty string selects
+// the default static-hash policy.
+func NewSteering(name string) (Steering, error) {
+	switch name {
+	case "", "hash":
+		return &staticHash{}, nil
+	case "rr":
+		return &roundRobin{}, nil
+	case "flow":
+		return &flowAffine{}, nil
+	}
+	return nil, fmt.Errorf("assist: unknown steering policy %q (have %v)", name, SteeringNames)
+}
+
+// staticHash is stateless RSS: queue = hash mod queues. Every frame of a
+// flow lands on one queue; queue balance is whatever the hash gives the
+// offered flow mix.
+type staticHash struct{}
+
+func (*staticHash) Name() string { return "hash" }
+
+func (*staticHash) Select(hash uint32, queues int) int { return int(hash % uint32(queues)) }
+
+// roundRobin ignores the hash and deals frames across queues in arrival
+// order. Perfect balance, no flow affinity — the upper bound on spread and
+// the lower bound on per-flow ordering (a flow's frames interleave across
+// queues, so only the per-queue invariant survives).
+type roundRobin struct{ next uint64 }
+
+func (p *roundRobin) Name() string { return "rr" }
+
+func (p *roundRobin) Select(hash uint32, queues int) int {
+	q := int(p.next % uint64(queues))
+	p.next++
+	return q
+}
+
+// flowAffine assigns each new flow hash to the least-recently-assigned
+// queue and pins it there: flow affinity like static hash, but with deal-
+// order balance over the set of observed flows instead of hash-mod balance.
+type flowAffine struct {
+	table map[uint32]int
+	next  uint64
+}
+
+func (p *flowAffine) Name() string { return "flow" }
+
+func (p *flowAffine) Select(hash uint32, queues int) int {
+	if q, ok := p.table[hash]; ok && q < queues {
+		return q
+	}
+	if p.table == nil {
+		p.table = make(map[uint32]int)
+	}
+	q := int(p.next % uint64(queues))
+	p.next++
+	p.table[hash] = q
+	return q
+}

@@ -1,0 +1,153 @@
+package assist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ethernet"
+)
+
+// TestToeplitzReferenceVectors checks the hash against the Microsoft RSS
+// verification suite (the vectors hardware vendors certify against). Input
+// is the IPv4 tuple in network order: source address, destination address,
+// then source and destination port for the 4-tuple rows.
+func TestToeplitzReferenceVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want uint32
+	}{
+		{
+			"66.9.149.187:2794 -> 161.142.100.80:1766",
+			[]byte{66, 9, 149, 187, 161, 142, 100, 80, 0x0a, 0xea, 0x06, 0xe6},
+			0x51ccc178,
+		},
+		{
+			"199.92.111.2:14230 -> 65.69.140.83:4739",
+			[]byte{199, 92, 111, 2, 65, 69, 140, 83, 0x37, 0x96, 0x12, 0x83},
+			0xc626b0ea,
+		},
+		{
+			"66.9.149.187 -> 161.142.100.80 (2-tuple)",
+			[]byte{66, 9, 149, 187, 161, 142, 100, 80},
+			0x323e8fc2,
+		},
+	}
+	for _, c := range cases {
+		if got := Toeplitz(rssKey[:], c.data); got != c.want {
+			t.Errorf("%s: Toeplitz = %#08x, want %#08x", c.name, got, c.want)
+		}
+	}
+}
+
+func flowTuple(fid int) (src, dst ethernet.MAC, sp, dp uint16) {
+	// Mirrors the adversarial workload's flow-identity scheme: the flow id
+	// folded into the source MAC tail bytes and the source port.
+	src = ethernet.MAC{0x02, 0x4e, 0x49, 0x43, byte(fid >> 8), byte(fid)}
+	dst = ethernet.MAC{0x02, 0x4e, 0x49, 0x43, 0x00, 0x01}
+	return src, dst, 5001 + uint16(fid&0xff), 5002
+}
+
+func TestFlowHashDeterministicAndFlowSensitive(t *testing.T) {
+	src, dst, sp, dp := flowTuple(7)
+	h := FlowHash(src, dst, sp, dp)
+	for i := 0; i < 100; i++ {
+		if got := FlowHash(src, dst, sp, dp); got != h {
+			t.Fatalf("iteration %d: hash changed %#08x -> %#08x", i, h, got)
+		}
+	}
+	distinct := map[uint32]bool{}
+	for fid := 0; fid < 64; fid++ {
+		s, d, a, b := flowTuple(fid)
+		distinct[FlowHash(s, d, a, b)] = true
+	}
+	if len(distinct) < 60 {
+		t.Errorf("64 flows produced only %d distinct hashes", len(distinct))
+	}
+}
+
+// TestStaticHashSpread bounds queue skew for the adversarial flow mix with a
+// chi-square-style statistic: sum((observed-expected)^2/expected) over the
+// queues. For 256 flows on 8 queues (df=7) the p=0.001 critical value is
+// 24.32; a uniform hash lands well under it, a biased one blows past.
+func TestStaticHashSpread(t *testing.T) {
+	const flows, queues = 256, 8
+	var counts [queues]int
+	steer := &staticHash{}
+	for fid := 0; fid < flows; fid++ {
+		s, d, a, b := flowTuple(fid)
+		counts[steer.Select(FlowHash(s, d, a, b), queues)]++
+	}
+	const expected = float64(flows) / queues
+	var chi2 float64
+	for q, n := range counts {
+		dev := float64(n) - expected
+		chi2 += dev * dev / expected
+		if n == 0 {
+			t.Errorf("queue %d received no flows: %v", q, counts)
+		}
+	}
+	if chi2 > 24.32 {
+		t.Errorf("chi-square %.2f exceeds the p=0.001 bound 24.32 (counts %v)", chi2, counts)
+	}
+}
+
+func TestRoundRobinDealsPerfectBalance(t *testing.T) {
+	steer := &roundRobin{}
+	var counts [4]int
+	for i := 0; i < 400; i++ {
+		counts[steer.Select(0xdeadbeef, 4)]++ // hash must be ignored
+	}
+	for q, n := range counts {
+		if n != 100 {
+			t.Errorf("queue %d: %d frames, want 100 (%v)", q, n, counts)
+		}
+	}
+}
+
+func TestFlowAffinePinsFlowsWithDealOrderBalance(t *testing.T) {
+	steer := &flowAffine{}
+	hashes := []uint32{0xaaaa, 0xbbbb, 0xcccc, 0xdddd}
+	first := make([]int, len(hashes))
+	for i, h := range hashes {
+		first[i] = steer.Select(h, 4)
+	}
+	// New flows are dealt across queues in order of first appearance.
+	for i, q := range first {
+		if q != i {
+			t.Errorf("flow %d first assigned queue %d, want deal order %d", i, q, i)
+		}
+	}
+	// Revisiting a flow must return its pinned queue, in any interleaving.
+	for i := 0; i < 100; i++ {
+		h := hashes[(i*7)%len(hashes)]
+		if q := steer.Select(h, 4); q != first[(i*7)%len(hashes)] {
+			t.Fatalf("flow %#x migrated to queue %d", h, q)
+		}
+	}
+}
+
+func TestNewSteering(t *testing.T) {
+	for _, name := range append([]string{""}, SteeringNames...) {
+		s, err := NewSteering(name)
+		if err != nil {
+			t.Fatalf("NewSteering(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "hash"
+		}
+		if s.Name() != want {
+			t.Errorf("NewSteering(%q).Name() = %q, want %q", name, s.Name(), want)
+		}
+	}
+	_, err := NewSteering("lru")
+	if err == nil {
+		t.Fatal("NewSteering(\"lru\") succeeded, want error")
+	}
+	for _, name := range SteeringNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list the valid policy %q", err, name)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -42,6 +43,16 @@ type Config struct {
 
 	Host host.Config
 
+	// RxQueues selects how many per-core host receive rings the RSS stage
+	// steers into. Zero means "unset": the controller keeps the seed's single
+	// receive ring and every pre-RSS report stays byte-identical. Non-zero
+	// values must be a power of two no larger than firmware.MaxRxQueues.
+	RxQueues int `json:",omitempty"`
+
+	// Steering names the RSS steering policy ("hash", "rr", "flow"); empty
+	// selects the static hash. Only meaningful with RxQueues > 1.
+	Steering string `json:",omitempty"`
+
 	TxSlots  int
 	RxSlots  int
 	DMADepth int
@@ -60,6 +71,11 @@ type Config struct {
 // four scratchpad banks at 200 MHz, 8 KB two-way 32-byte-line instruction
 // caches, and 64-bit 500 MHz GDDR SDRAM.
 func DefaultConfig() Config {
+	// Host.RxQueues stays zero ("unset") so the serialized default config —
+	// and with it every pre-RSS spec hash and report — is byte-identical to
+	// builds that predate multi-queue receive.
+	h := host.DefaultConfig()
+	h.RxQueues = 0
 	return Config{
 		Cores:           6,
 		CPUMHz:          200,
@@ -72,11 +88,23 @@ func DefaultConfig() Config {
 		SDRAM:           mem.DefaultSDRAMConfig(),
 		Ordering:        firmware.SoftwareOnly,
 		Parallelism:     firmware.FrameParallel,
-		Host:            host.DefaultConfig(),
+		Host:            h,
 		TxSlots:         512,
 		RxSlots:         512,
 		DMADepth:        4,
 	}
+}
+
+// rxQueues resolves the effective receive-queue count: the RSS field wins,
+// then an explicit host-level count, then the single-ring default.
+func (c Config) rxQueues() int {
+	if c.RxQueues > 0 {
+		return c.RxQueues
+	}
+	if c.Host.RxQueues > 0 {
+		return c.Host.RxQueues
+	}
+	return 1
 }
 
 // RMWConfig is the paper's RMW-enhanced operating point: the atomic
@@ -137,13 +165,24 @@ func New(cfg Config) *NIC {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("core: %v", err))
 	}
+	// Canonicalize the explicitly-spelled defaults so a 1-queue static-hash
+	// configuration serializes byte-identically to the zero-value seed path.
+	if cfg.RxQueues == 1 {
+		cfg.RxQueues = 0
+	}
+	if cfg.Steering == "hash" {
+		cfg.Steering = ""
+	}
 	n := &NIC{Cfg: cfg}
 
 	n.SP = mem.NewScratchpad(cfg.ScratchpadBytes, cfg.ScratchpadBanks)
 	n.Xbar = mem.NewCrossbar(cfg.Cores+4, cfg.ScratchpadBanks)
 	n.SDRAM = mem.NewSDRAM(cfg.SDRAM)
 	n.IMem = mem.NewInstrMemory(2, cfg.ICacheLine)
-	n.Host = host.New(cfg.Host)
+	nq := cfg.rxQueues()
+	hcfg := cfg.Host
+	hcfg.RxQueues = nq
+	n.Host = host.New(hcfg)
 
 	prtDMARd := cfg.Cores + 0
 	prtDMAWr := cfg.Cores + 1
@@ -163,6 +202,16 @@ func New(cfg Config) *NIC {
 		MACRx: assist.NewMACRx(
 			assist.NewScratchPort(n.SP, n.Xbar, prtMACRx, cfg.Cores+3),
 			n.SDRAM, sdramMACRx, firmware.PtrMACRx),
+	}
+	n.As.MACRx.Queues = nq
+	if nq > 1 {
+		steer, err := assist.NewSteering(cfg.Steering)
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err)) // Validate already rejected it
+		}
+		n.As.MACRx.Steer = steer
+		n.As.MACRx.QueueFrames = make([]stats.Counter, nq)
+		n.As.MACRx.QueueDrops = make([]stats.Counter, nq)
 	}
 
 	prof := firmware.DefaultProfile(cfg.Ordering)

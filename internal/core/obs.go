@@ -49,8 +49,11 @@ func (n *NIC) EnableObs(cfg obs.Config) *obs.Recorder {
 	n.As.MACRx.Obs, n.As.MACRx.ObsTrack = rec, rec.AddTrack("mac-rx")
 
 	// Frame-lifecycle tracks (sampled stage instants) and latency origins.
+	// Multi-queue builds additionally track per-receive-queue latency and
+	// occupancy; single-ring latency reports are unchanged.
 	rec.SetFrameTrack(obs.Send, rec.AddTrack("frames tx"))
 	rec.SetFrameTrack(obs.Recv, rec.AddTrack("frames rx"))
+	rec.EnableRecvQueues(n.Host.RxQueues())
 	n.FW.Obs = rec
 	n.Host.OnPost = func() { rec.FrameOrigin(obs.Send) }
 

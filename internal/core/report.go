@@ -30,6 +30,9 @@ type snapshot struct {
 	advOffered, advHostile, advCrit                      uint64
 	critDelivered                                        uint64
 
+	queueSteered, queueDrops, queueDeliv, queueOOO []uint64
+	crossReord                                     uint64
+
 	spReads, spWrites uint64
 	assistAccesses    uint64
 
@@ -74,6 +77,16 @@ func (n *NIC) snapshot() snapshot {
 		s.advCrit = n.adv.CritOffered.Value()
 	}
 	s.critDelivered = n.Host.RecvCritical.Value()
+
+	if nq := n.Host.RxQueues(); nq > 1 {
+		for q := 0; q < nq; q++ {
+			s.queueSteered = append(s.queueSteered, n.As.MACRx.QueueFrames[q].Value())
+			s.queueDrops = append(s.queueDrops, n.As.MACRx.QueueDrops[q].Value())
+			s.queueDeliv = append(s.queueDeliv, n.Host.QueueDelivered(q))
+			s.queueOOO = append(s.queueOOO, n.Host.QueueOutOfOrd(q))
+		}
+		s.crossReord = n.Host.RecvCrossReord.Value()
+	}
 
 	s.spReads, s.spWrites = n.SP.TotalAccesses()
 	s.assistAccesses = n.As.DMARead.Port.Accesses.Value() +
@@ -171,6 +184,40 @@ type Report struct {
 	// baseline reports stay byte-identical to older builds.
 	Traffic *TrafficReport `json:"traffic,omitempty"`
 	SLO     *SLOReport     `json:"slo,omitempty"`
+
+	// RSS summarizes multi-queue receive behaviour, present only when the
+	// controller was built with more than one receive queue — single-ring
+	// reports stay byte-identical to pre-RSS builds.
+	RSS *RSSReport `json:"rss,omitempty"`
+}
+
+// RSSReport is the multi-queue receive section: how the RSS stage spread
+// frames across queues and what each queue delivered.
+type RSSReport struct {
+	Queues   int    `json:"queues"`
+	Steering string `json:"steering"`
+
+	// QueueSkew is max/mean delivered frames per queue over the measurement
+	// window: 1.0 is a perfect spread, N means one queue took everything.
+	QueueSkew float64 `json:"queue_skew"`
+
+	// CrossReorder counts cross-queue delivery inversions against global
+	// arrival order. Nonzero is expected under RSS — per-queue (not global)
+	// in-order delivery is the invariant multi-queue receive preserves.
+	CrossReorder uint64 `json:"cross_reorder"`
+
+	PerQueue []RSSQueue `json:"per_queue"`
+}
+
+// RSSQueue is one receive queue's measurement-window totals.
+type RSSQueue struct {
+	// Steered counts frames the RSS stage admitted and directed here;
+	// Frames counts those the host driver actually took off the ring.
+	Steered      uint64  `json:"steered"`
+	Frames       uint64  `json:"frames"`
+	FramesPerSec float64 `json:"fps"`
+	Drops        uint64  `json:"drops"`
+	OutOfOrder   uint64  `json:"out_of_order"`
 }
 
 // FuncBreakdown is one direction's per-frame rows.
@@ -371,6 +418,31 @@ func (n *NIC) report(end snapshot) Report {
 		}
 		r.SLO = evaluateSLO(*n.slo, &r, dropFrac)
 	}
+	if nq := n.Host.RxQueues(); nq > 1 {
+		rss := &RSSReport{Queues: nq, Steering: "hash", CrossReorder: end.crossReord - base.crossReord}
+		if n.As.MACRx.Steer != nil {
+			rss.Steering = n.As.MACRx.Steer.Name()
+		}
+		var total, max uint64
+		for q := 0; q < nq; q++ {
+			deliv := end.queueDeliv[q] - base.queueDeliv[q]
+			total += deliv
+			if deliv > max {
+				max = deliv
+			}
+			rss.PerQueue = append(rss.PerQueue, RSSQueue{
+				Steered:      end.queueSteered[q] - base.queueSteered[q],
+				Frames:       deliv,
+				FramesPerSec: float64(deliv) / secs,
+				Drops:        end.queueDrops[q] - base.queueDrops[q],
+				OutOfOrder:   end.queueOOO[q] - base.queueOOO[q],
+			})
+		}
+		if total > 0 {
+			rss.QueueSkew = float64(max) * float64(nq) / float64(total)
+		}
+		r.RSS = rss
+	}
 	return r
 }
 
@@ -429,6 +501,14 @@ func (r Report) String() string {
 			t.RuntDrops, t.OversizeDrops, t.BadCRCDrops, t.FilteredDrops)
 		if t.CritOffered > 0 {
 			fmt.Fprintf(&b, "  critical frames: %d offered, %d delivered\n", t.CritOffered, t.CritDelivered)
+		}
+	}
+	if rss := r.RSS; rss != nil {
+		fmt.Fprintf(&b, "rss: %d queues, steering %s, skew %.3f, cross-queue reorder %d\n",
+			rss.Queues, rss.Steering, rss.QueueSkew, rss.CrossReorder)
+		for q, pq := range rss.PerQueue {
+			fmt.Fprintf(&b, "  queue %d: steered %d, delivered %d (%.0f fps), drops %d, out-of-order %d\n",
+				q, pq.Steered, pq.Frames, pq.FramesPerSec, pq.Drops, pq.OutOfOrder)
 		}
 	}
 	if s := r.SLO; s != nil {

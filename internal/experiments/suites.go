@@ -39,7 +39,7 @@ func SpecFor(cfg core.Config, udpSize int, b Budget) sweep.Spec {
 	if cfg.Parallelism == firmware.TaskParallel {
 		par = ParTask
 	}
-	return sweep.Spec{
+	s := sweep.Spec{
 		Kind:        sweep.KindNIC,
 		Cores:       cfg.Cores,
 		MHz:         cfg.CPUMHz,
@@ -50,6 +50,13 @@ func SpecFor(cfg core.Config, udpSize int, b Budget) sweep.Spec {
 		WarmupPs:    uint64(b.Warmup),
 		MeasurePs:   uint64(b.Measure),
 	}
+	// A single receive queue is the seed's controller: the RSS fields stay
+	// zero/empty so the spec hash matches every pre-RSS baseline.
+	if cfg.RxQueues > 1 {
+		s.RxQueues = cfg.RxQueues
+		s.Steering = cfg.Steering
+	}
+	return s
 }
 
 // ConfigFor reconstructs the controller configuration a spec declares,
@@ -80,6 +87,12 @@ func ConfigFor(s sweep.Spec) (core.Config, error) {
 		cfg.Parallelism = firmware.TaskParallel
 	default:
 		return core.Config{}, fmt.Errorf("experiments: unknown parallelism %q", s.Parallelism)
+	}
+	if s.RxQueues > 0 {
+		cfg.RxQueues = s.RxQueues
+	}
+	if s.Steering != "" {
+		cfg.Steering = s.Steering
 	}
 	// The jumbo traffic class implies a jumbo-capable build: wider MAC
 	// admission limit and firmware buffer slots.
@@ -534,6 +547,11 @@ func Suites() []Suite {
 			Key: "robustness", Desc: "adversarial traffic matrix with gated latency SLOs (used by -check)",
 			Jobs:  RobustnessJobs,
 			Print: PrintRobustness,
+		},
+		{
+			Key: "rss", Desc: "RSS multi-queue receive: queue counts × steering policies (used by -check)",
+			Jobs:  RSSJobs,
+			Print: PrintRSS,
 		},
 		{
 			Key: "gate", Desc: "regression gate points (used by -check)",

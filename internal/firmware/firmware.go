@@ -99,10 +99,44 @@ type sendFrame struct {
 
 type recvFrame struct {
 	f    *host.Frame
-	idx  uint64
+	idx  uint64 // global arrival index (observation, descriptor addressing)
+	q    int    // RSS queue the MAC steered the frame to
+	qidx uint64 // per-queue index (status flag and ring position)
 	buf  uint32
 	slot int
 	size int
+}
+
+// rxQueue is one receive queue's independent pipeline: its own arrival and
+// completion queues, BD credit, status-flag subarray, and in-order commit
+// head. A single-queue build has exactly one, whose flag array is the whole
+// legacy FlagsRecv region — the seed pipeline, address for address.
+type rxQueue struct {
+	q        int
+	seq      uint64 // frames steered here so far (the next frame's qidx)
+	flagBits int
+	flagBase uint32
+	flags    *mem.BitArray
+
+	arrivedQ    []*recvFrame
+	bdCredit    int
+	bdFetchOut  int
+	dmaDone     []*recvFrame
+	ring        []*recvFrame
+	set         uint64
+	commitHead  uint64
+	commitClaim bool
+	doneQ       []*recvFrame
+}
+
+// bdEntries is the queue's share of the RegionRecvBD descriptor ring.
+func (rq *rxQueue) bdEntries(nq int) uint32 { return 2048 / uint32(nq) }
+
+// bdAddr returns the scratchpad address of the fetched receive BD for index
+// i of this queue, within the queue's slice of the BD region.
+func (rq *rxQueue) bdAddr(nq int, i uint64) uint32 {
+	ents := rq.bdEntries(nq)
+	return RegionRecvBD + uint32(rq.q)*ents*16 + uint32(i%uint64(ents))*16
 }
 
 // Firmware is the NIC firmware model: it owns the functional frame pipeline
@@ -114,7 +148,6 @@ type Firmware struct {
 	as   Assists
 
 	sendFlags *mem.BitArray
-	recvFlags *mem.BitArray
 
 	txRing *slotRing
 	rxRing *slotRing
@@ -131,17 +164,14 @@ type Firmware struct {
 	sendCommitClaim bool
 	txDoneQ         []*sendFrame
 
-	// Receive pipeline.
-	recvSeq         uint64
-	rxArrivedQ      []*recvFrame
-	recvBDCredit    int
-	recvBDFetchOut  int
-	rxDMADone       []*recvFrame
-	recvRing        []*recvFrame
-	recvSet         uint64
-	recvCommitHead  uint64
-	recvCommitClaim bool
-	recvDoneQ       []*recvFrame
+	// Receive pipeline: a global arrival counter (frame identity for
+	// observation and conservation audits) plus one independent rxQueue per
+	// RSS receive queue.
+	recvSeq uint64
+	rxq     []*rxQueue
+	// Rotating queue cursors, one per receive claim kind, so multi-queue
+	// claims visit queues fairly without any shared scan order.
+	rxqCur [5]int
 
 	// Pipeline audit counters: frames in the claim→effect windows that the
 	// queues above do not cover. Together with the queues they account for
@@ -203,13 +233,26 @@ func New(prof Profile, sp *mem.Scratchpad, hst *host.Host, as Assists, nCores in
 		hst:       hst,
 		as:        as,
 		sendFlags: mem.NewBitArray(sp, FlagsSend, FlagBits),
-		recvFlags: mem.NewBitArray(sp, FlagsRecv, FlagBits),
 		txRing:    newSlotRing(0x000000, slotBytes, txSlots),
 		rxRing:    newSlotRing(0x800000, slotBytes, rxSlots),
 		sendRing:  make([]*sendFrame, FlagBits),
-		recvRing:  make([]*recvFrame, FlagBits),
 		cont:      make([][]*cpu.Stream, nCores),
 		nCores:    nCores,
+	}
+	// One receive pipeline per host receive queue. The status-flag region is
+	// subdivided evenly: with one queue the subarray is the entire legacy
+	// FlagsRecv array, so the seed build's flag addresses are unchanged.
+	nq := hst.RxQueues()
+	bits := RecvFlagBits(nq)
+	for q := 0; q < nq; q++ {
+		rq := &rxQueue{
+			q:        q,
+			flagBits: bits,
+			flagBase: FlagsRecvQ(q, nq),
+			ring:     make([]*recvFrame, bits),
+		}
+		rq.flags = mem.NewBitArray(sp, rq.flagBase, bits)
+		fw.rxq = append(fw.rxq, rq)
 	}
 	as.MACRx.Alloc = func(size int, handle any) (uint32, bool) {
 		addr, _, ok := fw.rxRing.alloc()
@@ -218,13 +261,15 @@ func New(prof Profile, sp *mem.Scratchpad, hst *host.Host, as Assists, nCores in
 		}
 		return addr, true
 	}
-	as.MACRx.OnReceive = func(buf uint32, size int, handle any) {
-		fr := &recvFrame{f: handle.(*host.Frame), idx: fw.recvSeq, buf: buf, size: size}
+	as.MACRx.OnReceive = func(buf uint32, size int, handle any, queue int) {
+		rq := fw.rxq[queue]
+		fr := &recvFrame{f: handle.(*host.Frame), idx: fw.recvSeq, q: queue, qidx: rq.seq, buf: buf, size: size}
 		fw.recvSeq++
-		fw.recvRing[fr.idx%FlagBits] = fr
+		rq.seq++
+		rq.ring[fr.qidx%uint64(rq.flagBits)] = fr
 		fr.slot = int((buf - fw.rxRing.base) / fw.rxRing.slotSize)
-		fw.rxArrivedQ = append(fw.rxArrivedQ, fr)
-		fw.Obs.FrameStage(obs.Recv, obs.RecvBuffered, fr.idx)
+		rq.arrivedQ = append(rq.arrivedQ, fr)
+		fw.Obs.FrameStageQ(obs.Recv, obs.RecvBuffered, fr.idx, fr.q)
 	}
 	as.MACTx.OnTransmit = func(handle any) {
 		fr := handle.(*sendFrame)
@@ -453,15 +498,27 @@ func (fw *Firmware) pollStream(coreID int) *cpu.Stream {
 	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
 	b.cost(fw.Prof.PollPass, addrCycle(PtrMailbox, PtrDMARead, PtrDMAWrite, PtrMACTx, PtrMACRx, PtrRecvBDPool))
 	if fw.Prof.Ordering == SoftwareOnly {
-		for _, d := range []struct {
+		scans := []struct {
 			lock uint32
 			base uint32
 			head uint64
+			bits uint64
 		}{
-			{LockSendOrd, FlagsSend, fw.sendCommitHead},
-			{LockRecvOrd, FlagsRecv, fw.recvCommitHead},
-		} {
-			word := d.base + uint32((d.head%FlagBits)/32)*4
+			{LockSendOrd, FlagsSend, fw.sendCommitHead, FlagBits},
+		}
+		// Every receive queue's flag subarray is scanned under its own
+		// ordering lock — the per-queue share of the "synchronized, looping
+		// memory accesses" the dispatch loop pays in software-only mode.
+		for _, rq := range fw.rxq {
+			scans = append(scans, struct {
+				lock uint32
+				base uint32
+				head uint64
+				bits uint64
+			}{LockRecvOrdQ(rq.q), rq.flagBase, rq.commitHead, uint64(rq.flagBits)})
+		}
+		for _, d := range scans {
+			word := d.base + uint32((d.head%d.bits)/32)*4
 			b.lock(d.lock, nil)
 			b.alu(3)
 			b.load(word)
@@ -620,12 +677,12 @@ func (fw *Firmware) claimSendCommit(coreID int) *cpu.Stream {
 	if fw.sendCommitClaim || fw.sendSet == fw.sendCommitHead {
 		return nil
 	}
-	ready := fw.consecutiveReady(fw.sendFlags, fw.sendCommitHead)
+	ready := fw.consecutiveReady(fw.sendFlags, fw.sendCommitHead, FlagBits)
 	if ready == 0 {
 		return nil
 	}
 	fw.sendCommitClaim = true
-	return fw.commitStream(coreID, true, ready)
+	return fw.commitStream(coreID, true, nil, ready)
 }
 
 // claimSendComplete handles transmit completions: frees buffer space and
@@ -667,172 +724,203 @@ func (fw *Firmware) claimSendComplete(coreID int) *cpu.Stream {
 // Receive path
 // ---------------------------------------------------------------------------
 
-// claimFetchRecvBD replenishes the receive-buffer descriptor pool: "Fetch
-// Receive BD", one DMA of up to 16 descriptors.
-func (fw *Firmware) claimFetchRecvBD(coreID int) *cpu.Stream {
-	if fw.recvBDFetchOut >= 2 || fw.recvBDCredit > 128 || fw.hst.PostedRecvBDs() == 0 {
-		return nil
-	}
-	n := fw.hst.PostedRecvBDs()
-	if n > RecvBDsPerBatch {
-		n = RecvBDsPerBatch
-	}
-	fw.recvBDFetchOut++
-
-	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
-	base := RegionRecvBD + uint32(fw.recvSeq%2048)*16
-	b.cost(fw.Prof.FetchRecvBDBatch.scale(float64(n)/RecvBDsPerBatch), addrCycle(base, base+16))
-	b.lock(LockRecvBD, nil)
-	b.alu(4)
-	b.store(base)
-	b.unlock(LockRecvBD, nil)
-	b.then(func() {
-		fire := func() {
-			fw.recvBDCredit += fw.hst.TakeRecvBDs(n)
-			fw.recvBDFetchOut--
+// eachRxQueue visits the receive queues starting at the rotating cursor for
+// one claim kind, returning the first queue's stream. The cursor advances
+// past a successful claim so no queue monopolizes a claim kind; with one
+// queue the scan is a single probe of queue 0, as in the seed firmware.
+func (fw *Firmware) eachRxQueue(kind int, try func(rq *rxQueue) *cpu.Stream) *cpu.Stream {
+	nq := len(fw.rxq)
+	for i := 0; i < nq; i++ {
+		qi := (fw.rxqCur[kind] + i) % nq
+		if s := try(fw.rxq[qi]); s != nil {
+			fw.rxqCur[kind] = (qi + 1) % nq
+			return s
 		}
-		issue := func(onDone func()) {
-			fw.as.DMARead.FetchBDs(n*RecvBDWords, base, onDone)
-		}
-		issue(fw.expect("fetch-recv-bd", issue, fire))
-	})
-	work := b.build("fetch-recv-bd", codeFetchBDBase, fw.Prof.CodeFetchBD, AcctFetchRecvBD, nil)
-	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
+	}
+	return nil
 }
 
-// claimRecvPrep matches arrived frames with receive buffers and programs the
-// DMA write engine — "Receive Frame" part one.
-func (fw *Firmware) claimRecvPrep(coreID int) *cpu.Stream {
-	if len(fw.rxArrivedQ) == 0 || fw.recvBDCredit == 0 {
-		return nil
-	}
-	n := fw.batch(len(fw.rxArrivedQ))
-	if n > fw.recvBDCredit {
-		n = fw.recvBDCredit
-	}
-	frames := append([]*recvFrame(nil), fw.rxArrivedQ[:n]...)
-	fw.rxArrivedQ = fw.rxArrivedQ[n:]
-	fw.recvBDCredit -= n
-	fw.claimedRecv += n
+// claimFetchRecvBD replenishes a queue's receive-buffer descriptor pool:
+// "Fetch Receive BD", one DMA of up to 16 descriptors. Each queue fetches
+// from its own host ring under its own lock, so BD production is
+// independent per queue.
+func (fw *Firmware) claimFetchRecvBD(coreID int) *cpu.Stream {
+	return fw.eachRxQueue(0, func(rq *rxQueue) *cpu.Stream {
+		if rq.bdFetchOut >= 2 || rq.bdCredit > 128 || fw.hst.PostedRecvBDs(rq.q) == 0 {
+			return nil
+		}
+		n := fw.hst.PostedRecvBDs(rq.q)
+		if n > RecvBDsPerBatch {
+			n = RecvBDsPerBatch
+		}
+		rq.bdFetchOut++
 
-	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
-	bases := make([]uint32, 0, 2*n)
-	for _, fr := range frames {
-		bases = append(bases,
-			RegionRecvBD+uint32(fr.idx%2048)*16,
-			RegionRecvDesc+desc(fr.idx, DescStagePrep))
-	}
-	b.cost2(fw.Prof.RecvFramePrep.scale(float64(n)), addrWalk(bases...), addrWalk(odd(bases)...))
-	// Receive-buffer pool bookkeeping holds the pool lock across the
-	// per-frame matching loop. The paper singles this lock out: contention
-	// on "a lock in the receive path" limits the RMW-enhanced
-	// configuration's peak frame rate.
-	b.lock(LockRxPool, nil)
-	for i := 0; i < n; i++ {
+		b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+		base := rq.bdAddr(len(fw.rxq), rq.seq)
+		b.cost(fw.Prof.FetchRecvBDBatch.scale(float64(n)/RecvBDsPerBatch), addrCycle(base, base+16))
+		b.lock(LockRecvBDQ(rq.q), nil)
 		b.alu(4)
-		b.load(PtrRecvBDPool)
-		b.store(bases[i%len(bases)])
-	}
-	b.unlock(LockRxPool, nil)
-	b.then(func() {
-		fw.claimedRecv -= len(frames)
-		for _, fr := range frames {
-			f := fr
-			fw.dmaOutRecv++
-			fw.as.DMAWrite.WriteFrame(f.buf, f.size, nil)
+		b.store(base)
+		b.unlock(LockRecvBDQ(rq.q), nil)
+		b.then(func() {
 			fire := func() {
-				fw.dmaOutRecv--
-				fw.rxDMADone = append(fw.rxDMADone, f)
-				fw.Obs.FrameStage(obs.Recv, obs.RecvDMADone, f.idx)
+				rq.bdCredit += fw.hst.TakeRecvBDs(rq.q, n)
+				rq.bdFetchOut--
 			}
 			issue := func(onDone func()) {
-				fw.as.DMAWrite.WriteDescriptor(RegionRecvDesc+desc(f.idx, DescDMA), RecvBDWords, onDone)
+				fw.as.DMARead.FetchBDs(n*RecvBDWords, base, onDone)
 			}
-			issue(fw.expect("recv-desc-dma", issue, fire))
-			fw.Obs.FrameStage(obs.Recv, obs.RecvDMAStart, f.idx)
-		}
+			issue(fw.expect("fetch-recv-bd", issue, fire))
+		})
+		work := b.build("fetch-recv-bd", codeFetchBDBase, fw.Prof.CodeFetchBD, AcctFetchRecvBD, nil)
+		return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
 	})
-	work := b.build("recv-prep", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
-	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
 }
 
-// claimRecvDone processes host-DMA completions and sets status flags —
-// "Receive Frame" part two plus the ordering set.
-func (fw *Firmware) claimRecvDone(coreID int) *cpu.Stream {
-	if len(fw.rxDMADone) == 0 {
-		return nil
-	}
-	n := fw.batch(len(fw.rxDMADone))
-	frames := append([]*recvFrame(nil), fw.rxDMADone[:n]...)
-	fw.rxDMADone = fw.rxDMADone[n:]
-	fw.ordPendRecv += n
+// claimRecvPrep matches one queue's arrived frames with receive buffers and
+// programs the DMA write engine — "Receive Frame" part one.
+func (fw *Firmware) claimRecvPrep(coreID int) *cpu.Stream {
+	return fw.eachRxQueue(1, func(rq *rxQueue) *cpu.Stream {
+		if len(rq.arrivedQ) == 0 || rq.bdCredit == 0 {
+			return nil
+		}
+		n := fw.batch(len(rq.arrivedQ))
+		if n > rq.bdCredit {
+			n = rq.bdCredit
+		}
+		frames := append([]*recvFrame(nil), rq.arrivedQ[:n]...)
+		rq.arrivedQ = rq.arrivedQ[n:]
+		rq.bdCredit -= n
+		fw.claimedRecv += n
 
-	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
-	bases := make([]uint32, 0, n)
-	for _, fr := range frames {
-		bases = append(bases, RegionRecvDesc+desc(fr.idx, DescStageDone))
-	}
-	b.cost2(fw.Prof.RecvFrameDone.add(fw.Prof.ExtensionPerFrame).scale(float64(n)), addrWalk(bases...), addrWalk(offset(bases, DescStageDoneStore-DescStageDone)...))
-	work := b.build("recv-done", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
-
-	ord := fw.orderingSetStream(false, nil, frames)
-	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work, ord)
-}
-
-// claimRecvCommit advances the receive commit point, delivering consecutive
-// frames to the host in arrival order.
-func (fw *Firmware) claimRecvCommit(coreID int) *cpu.Stream {
-	if fw.recvCommitClaim || fw.recvSet == fw.recvCommitHead {
-		return nil
-	}
-	ready := fw.consecutiveReady(fw.recvFlags, fw.recvCommitHead)
-	if ready == 0 {
-		return nil
-	}
-	fw.recvCommitClaim = true
-	return fw.commitStream(coreID, false, ready)
-}
-
-// claimRecvComplete frees receive buffer slots after delivery — "Receive
-// Frame" part three.
-func (fw *Firmware) claimRecvComplete(coreID int) *cpu.Stream {
-	if len(fw.recvDoneQ) == 0 {
-		return nil
-	}
-	n := fw.batch(len(fw.recvDoneQ))
-	frames := append([]*recvFrame(nil), fw.recvDoneQ[:n]...)
-	fw.recvDoneQ = fw.recvDoneQ[n:]
-
-	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
-	bases := make([]uint32, 0, n)
-	for _, fr := range frames {
-		bases = append(bases, RegionRecvDesc+desc(fr.idx, DescStageComplete))
-	}
-	b.cost2(fw.Prof.RecvFrameComplete.scale(float64(n)), addrWalk(bases...), addrWalk(offset(bases, DescStageCompleteStore-DescStageComplete)...))
-	b.lock(LockRxPool, nil)
-	for i := 0; i < n; i++ {
-		b.alu(3)
-		b.store(PtrRecvBDPool)
-	}
-	b.unlock(LockRxPool, nil)
-	b.then(func() {
+		b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+		bases := make([]uint32, 0, 2*n)
 		for _, fr := range frames {
-			fw.rxRing.release(fr.slot)
+			bases = append(bases,
+				rq.bdAddr(len(fw.rxq), fr.qidx),
+				RegionRecvDesc+desc(fr.idx, DescStagePrep))
 		}
+		b.cost2(fw.Prof.RecvFramePrep.scale(float64(n)), addrWalk(bases...), addrWalk(odd(bases)...))
+		// Receive-buffer pool bookkeeping holds the queue's pool lock across
+		// the per-frame matching loop. The paper singles this lock out:
+		// contention on "a lock in the receive path" limits the RMW-enhanced
+		// configuration's peak frame rate — per-queue pool locks are exactly
+		// the relief RSS buys.
+		b.lock(LockRxPoolQ(rq.q), nil)
+		for i := 0; i < n; i++ {
+			b.alu(4)
+			b.load(PtrRecvBDPoolQ(rq.q))
+			b.store(bases[i%len(bases)])
+		}
+		b.unlock(LockRxPoolQ(rq.q), nil)
+		b.then(func() {
+			fw.claimedRecv -= len(frames)
+			for _, fr := range frames {
+				f := fr
+				fw.dmaOutRecv++
+				fw.as.DMAWrite.WriteFrame(f.buf, f.size, nil)
+				fire := func() {
+					fw.dmaOutRecv--
+					rq.dmaDone = append(rq.dmaDone, f)
+					fw.Obs.FrameStage(obs.Recv, obs.RecvDMADone, f.idx)
+				}
+				issue := func(onDone func()) {
+					fw.as.DMAWrite.WriteDescriptor(RegionRecvDesc+desc(f.idx, DescDMA), RecvBDWords, onDone)
+				}
+				issue(fw.expect("recv-desc-dma", issue, fire))
+				fw.Obs.FrameStage(obs.Recv, obs.RecvDMAStart, f.idx)
+			}
+		})
+		work := b.build("recv-prep", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
+		return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
 	})
-	work := b.build("recv-complete", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
-	return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
+}
+
+// claimRecvDone processes one queue's host-DMA completions and sets its
+// status flags — "Receive Frame" part two plus the ordering set.
+func (fw *Firmware) claimRecvDone(coreID int) *cpu.Stream {
+	return fw.eachRxQueue(2, func(rq *rxQueue) *cpu.Stream {
+		if len(rq.dmaDone) == 0 {
+			return nil
+		}
+		n := fw.batch(len(rq.dmaDone))
+		frames := append([]*recvFrame(nil), rq.dmaDone[:n]...)
+		rq.dmaDone = rq.dmaDone[n:]
+		fw.ordPendRecv += n
+
+		b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+		bases := make([]uint32, 0, n)
+		for _, fr := range frames {
+			bases = append(bases, RegionRecvDesc+desc(fr.idx, DescStageDone))
+		}
+		b.cost2(fw.Prof.RecvFrameDone.add(fw.Prof.ExtensionPerFrame).scale(float64(n)), addrWalk(bases...), addrWalk(offset(bases, DescStageDoneStore-DescStageDone)...))
+		work := b.build("recv-done", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
+
+		ord := fw.orderingSetStream(false, nil, frames)
+		return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work, ord)
+	})
+}
+
+// claimRecvCommit advances one queue's commit point, delivering that
+// queue's consecutive frames to the host in its arrival order — the
+// per-queue (not global) in-order invariant RSS relaxes to.
+func (fw *Firmware) claimRecvCommit(coreID int) *cpu.Stream {
+	return fw.eachRxQueue(3, func(rq *rxQueue) *cpu.Stream {
+		if rq.commitClaim || rq.set == rq.commitHead {
+			return nil
+		}
+		ready := fw.consecutiveReady(rq.flags, rq.commitHead, rq.flagBits)
+		if ready == 0 {
+			return nil
+		}
+		rq.commitClaim = true
+		return fw.commitStream(coreID, false, rq, ready)
+	})
+}
+
+// claimRecvComplete frees one queue's receive buffer slots after delivery —
+// "Receive Frame" part three.
+func (fw *Firmware) claimRecvComplete(coreID int) *cpu.Stream {
+	return fw.eachRxQueue(4, func(rq *rxQueue) *cpu.Stream {
+		if len(rq.doneQ) == 0 {
+			return nil
+		}
+		n := fw.batch(len(rq.doneQ))
+		frames := append([]*recvFrame(nil), rq.doneQ[:n]...)
+		rq.doneQ = rq.doneQ[n:]
+
+		b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
+		bases := make([]uint32, 0, n)
+		for _, fr := range frames {
+			bases = append(bases, RegionRecvDesc+desc(fr.idx, DescStageComplete))
+		}
+		b.cost2(fw.Prof.RecvFrameComplete.scale(float64(n)), addrWalk(bases...), addrWalk(offset(bases, DescStageCompleteStore-DescStageComplete)...))
+		b.lock(LockRxPoolQ(rq.q), nil)
+		for i := 0; i < n; i++ {
+			b.alu(3)
+			b.store(PtrRecvBDPoolQ(rq.q))
+		}
+		b.unlock(LockRxPoolQ(rq.q), nil)
+		b.then(func() {
+			for _, fr := range frames {
+				fw.rxRing.release(fr.slot)
+			}
+		})
+		work := b.build("recv-complete", codeRecvBase, fw.Prof.CodeRecvFrame, AcctRecvFrame, nil)
+		return fw.chain(coreID, fw.dispatchStream(AcctRecvOrder), work)
+	})
 }
 
 // ---------------------------------------------------------------------------
 // Ordering
 // ---------------------------------------------------------------------------
 
-// consecutiveReady counts consecutive set flags from the commit head,
-// functionally (the timing cost is charged by the commit stream's ops).
-func (fw *Firmware) consecutiveReady(ba *mem.BitArray, head uint64) int {
+// consecutiveReady counts consecutive set flags from the commit head of a
+// bits-sized flag array, functionally (the timing cost is charged by the
+// commit stream's ops).
+func (fw *Firmware) consecutiveReady(ba *mem.BitArray, head uint64, bits int) int {
 	n := 0
-	for n < FlagBits && ba.IsSet(int((head+uint64(n))%FlagBits)) {
+	for n < bits && ba.IsSet(int((head+uint64(n))%uint64(bits))) {
 		n++
 	}
 	return n
@@ -840,40 +928,44 @@ func (fw *Firmware) consecutiveReady(ba *mem.BitArray, head uint64) int {
 
 // orderingSetStream builds the per-frame status-flag set segment: the
 // lock-protected read-modify-write sequence in software-only mode, or one
-// atomic set instruction in RMW mode. Exactly one of sf/rf is non-nil.
+// atomic set instruction in RMW mode. Exactly one of sf/rf is non-nil, and
+// a receive batch is always frames of a single queue, whose flag subarray
+// and ordering lock the stream targets.
 func (fw *Firmware) orderingSetStream(send bool, sf []*sendFrame, rf []*recvFrame) *cpu.Stream {
-	flags := fw.recvFlags
-	lockAddr := uint32(LockRecvOrd)
-	acct := AcctRecvOrder
-	if send {
-		flags = fw.sendFlags
-		lockAddr = LockSendOrd
-		acct = AcctSendOrder
+	var rq *rxQueue
+	flags := fw.sendFlags
+	lockAddr := uint32(LockSendOrd)
+	acct := AcctSendOrder
+	flagBase := uint32(FlagsSend)
+	flagBits := uint64(FlagBits)
+	if !send {
+		rq = fw.rxq[rf[0].q]
+		flags = rq.flags
+		lockAddr = LockRecvOrdQ(rq.q)
+		acct = AcctRecvOrder
+		flagBase = rq.flagBase
+		flagBits = uint64(rq.flagBits)
 	}
 	n := len(sf) + len(rf)
 	idxOf := func(i int) uint64 {
 		if send {
 			return sf[i].idx
 		}
-		return rf[i].idx
+		return rf[i].qidx
 	}
 	wordAddr := func(i int) uint32 {
-		base := uint32(FlagsRecv)
-		if send {
-			base = FlagsSend
-		}
-		return base + uint32((idxOf(i)%FlagBits)/32)*4
+		return flagBase + uint32((idxOf(i)%flagBits)/32)*4
 	}
 	setFlag := func(i int) {
-		flags.Set(int(idxOf(i) % FlagBits))
+		flags.Set(int(idxOf(i) % flagBits))
 		if send {
 			fw.sendSet++
 			fw.ordPendSend--
-			fw.Obs.FrameStage(obs.Send, obs.SendFlagSet, idxOf(i))
+			fw.Obs.FrameStage(obs.Send, obs.SendFlagSet, sf[i].idx)
 		} else {
-			fw.recvSet++
+			rq.set++
 			fw.ordPendRecv--
-			fw.Obs.FrameStage(obs.Recv, obs.RecvFlagSet, idxOf(i))
+			fw.Obs.FrameStage(obs.Recv, obs.RecvFlagSet, rf[i].idx)
 		}
 	}
 
@@ -927,9 +1019,9 @@ func (fw *Firmware) orderingSetStream(send bool, sf []*sendFrame, rf []*recvFram
 	if fw.Prof.Ordering == RMWEnhanced {
 		syncLock = syncLock.scale(1.5)
 	}
-	poolLock := uint32(LockRxPool)
-	if send {
-		poolLock = LockHostNtfy
+	poolLock := uint32(LockHostNtfy)
+	if !send {
+		poolLock = LockRxPoolQ(rq.q)
 	}
 	// Each uncontended round costs ~8 instructions (6-instruction acquire,
 	// release store, linkage), so rounds approximate the budgeted share.
@@ -945,25 +1037,28 @@ func (fw *Firmware) orderingSetStream(send bool, sf []*sendFrame, rf []*recvFram
 // ready flags one lock-protected word access at a time; the RMW version is a
 // single atomic update. Commit actions (handing frames to the MAC or to the
 // host) run serialized inside the final memory transaction's completion.
-func (fw *Firmware) commitStream(coreID int, send bool, ready int) *cpu.Stream {
-	acct := AcctRecvOrder
-	lockAddr := uint32(LockRecvOrd)
-	flagBase := uint32(FlagsRecv)
-	hwPtr := uint32(PtrDMAWrite)
-	head := fw.recvCommitHead
-	if send {
-		acct = AcctSendOrder
-		lockAddr = LockSendOrd
-		flagBase = FlagsSend
-		hwPtr = PtrMACTx
-		head = fw.sendCommitHead
+// rq is the receive queue being committed (nil on the send side).
+func (fw *Firmware) commitStream(coreID int, send bool, rq *rxQueue, ready int) *cpu.Stream {
+	acct := AcctSendOrder
+	lockAddr := uint32(LockSendOrd)
+	flagBase := uint32(FlagsSend)
+	flagBits := uint64(FlagBits)
+	hwPtr := uint32(PtrMACTx)
+	head := fw.sendCommitHead
+	if !send {
+		acct = AcctRecvOrder
+		lockAddr = LockRecvOrdQ(rq.q)
+		flagBase = rq.flagBase
+		flagBits = uint64(rq.flagBits)
+		hwPtr = PtrDMAWrite
+		head = rq.commitHead
 	}
 
 	b := newBuilder(fw.seed(), fw.Prof.HazardFrac)
 	b.cost(fw.Prof.CommitPerEvent, addrCycle(fw.eventAddr(), hwPtr))
 
 	wordAt := func(k uint64) uint32 {
-		return flagBase + uint32((k%FlagBits)/32)*4
+		return flagBase + uint32((k%flagBits)/32)*4
 	}
 
 	if fw.Prof.Ordering == SoftwareOnly {
@@ -979,19 +1074,19 @@ func (fw *Firmware) commitStream(coreID int, send bool, ready int) *cpu.Stream {
 		// Terminating iteration (bit clear) plus head and pointer stores.
 		b.alu(6)
 		b.store(hwPtr)
-		b.then(func() { fw.commit(send, ready) })
+		b.then(func() { fw.commit(send, rq, ready) })
 		b.unlock(lockAddr, nil)
 		b.alu(2)
 	} else {
 		// upd: one atomic transaction bounded to a single word; commit what
 		// it actually cleared, then publish the hardware pointer.
 		b.rmw(wordAt(head), func() {
-			ba := fw.recvFlags
-			if send {
-				ba = fw.sendFlags
+			ba := fw.sendFlags
+			if !send {
+				ba = rq.flags
 			}
 			_, k := ba.Update()
-			fw.commitCleared(send, k)
+			fw.commitCleared(send, rq, k)
 		})
 		b.alu(2)
 		b.store(hwPtr)
@@ -1001,7 +1096,7 @@ func (fw *Firmware) commitStream(coreID int, send bool, ready int) *cpu.Stream {
 		if send {
 			fw.sendCommitClaim = false
 		} else {
-			fw.recvCommitClaim = false
+			rq.commitClaim = false
 		}
 	}
 	return b.build("commit", codeOrderBase, fw.Prof.CodeOrdering, acct, done)
@@ -1009,10 +1104,10 @@ func (fw *Firmware) commitStream(coreID int, send bool, ready int) *cpu.Stream {
 
 // commit clears n flags through the bit array (software scan semantics) and
 // applies the commit actions.
-func (fw *Firmware) commit(send bool, n int) {
-	ba := fw.recvFlags
-	if send {
-		ba = fw.sendFlags
+func (fw *Firmware) commit(send bool, rq *rxQueue, n int) {
+	ba := fw.sendFlags
+	if !send {
+		ba = rq.flags
 	}
 	cleared := 0
 	for cleared < n {
@@ -1022,12 +1117,12 @@ func (fw *Firmware) commit(send bool, n int) {
 		}
 		cleared += k
 	}
-	fw.commitCleared(send, cleared)
+	fw.commitCleared(send, rq, cleared)
 }
 
 // commitCleared hands k consecutive frames past the commit head to the next
-// stage, in order.
-func (fw *Firmware) commitCleared(send bool, k int) {
+// stage, in order (per queue on the receive side).
+func (fw *Firmware) commitCleared(send bool, rq *rxQueue, k int) {
 	for i := 0; i < k; i++ {
 		if send {
 			fr := fw.sendRing[fw.sendCommitHead%FlagBits]
@@ -1040,27 +1135,29 @@ func (fw *Firmware) commitCleared(send bool, k int) {
 			fw.as.MACTx.Send(fr.buf, fr.f.Size, fr)
 			fw.Obs.FrameStage(obs.Send, obs.SendCommitted, fr.idx)
 		} else {
-			fr := fw.recvRing[fw.recvCommitHead%FlagBits]
+			fr := rq.ring[rq.commitHead%uint64(rq.flagBits)]
 			if fr == nil {
-				panic(fmt.Sprintf("firmware: committing absent receive frame %d", fw.recvCommitHead))
+				panic(fmt.Sprintf("firmware: committing absent receive frame %d on queue %d", rq.commitHead, rq.q))
 			}
-			fw.recvRing[fw.recvCommitHead%FlagBits] = nil
-			fw.recvCommitHead++
+			rq.ring[rq.commitHead%uint64(rq.flagBits)] = nil
+			rq.commitHead++
 			fw.RxDelivered.Inc()
-			fw.hst.DeliverFrame(fr.f)
-			fw.recvDoneQ = append(fw.recvDoneQ, fr)
-			fw.Obs.FrameStage(obs.Recv, obs.RecvDelivered, fr.idx)
+			fw.hst.DeliverFrame(fr.f, rq.q)
+			rq.doneQ = append(rq.doneQ, fr)
+			fw.Obs.FrameStageQ(obs.Recv, obs.RecvDelivered, fr.idx, rq.q)
 		}
 	}
 }
 
 // Debug summarizes internal pipeline state for diagnostics.
 func (fw *Firmware) Debug() string {
-	return fmt.Sprintf(
-		"send: seq=%d prepQ=%d dmaDone=%d set=%d commitHead=%d claim=%v txDoneQ=%d bdOut=%d txFree=%d\n"+
-			"recv: seq=%d arrived=%d credit=%d dmaDone=%d set=%d commitHead=%d claim=%v doneQ=%d bdOut=%d rxFree=%d\n"+
-			"events: %v",
-		fw.sendSeq, len(fw.prepQ), len(fw.sendDMADone), fw.sendSet, fw.sendCommitHead, fw.sendCommitClaim, len(fw.txDoneQ), fw.bdFetchOut, fw.txRing.available(),
-		fw.recvSeq, len(fw.rxArrivedQ), fw.recvBDCredit, len(fw.rxDMADone), fw.recvSet, fw.recvCommitHead, fw.recvCommitClaim, len(fw.rxDMADone), fw.recvBDFetchOut, fw.rxRing.available(),
-		fw.Events)
+	s := fmt.Sprintf(
+		"send: seq=%d prepQ=%d dmaDone=%d set=%d commitHead=%d claim=%v txDoneQ=%d bdOut=%d txFree=%d\n",
+		fw.sendSeq, len(fw.prepQ), len(fw.sendDMADone), fw.sendSet, fw.sendCommitHead, fw.sendCommitClaim, len(fw.txDoneQ), fw.bdFetchOut, fw.txRing.available())
+	for _, rq := range fw.rxq {
+		s += fmt.Sprintf(
+			"recv[%d]: seq=%d arrived=%d credit=%d dmaDone=%d set=%d commitHead=%d claim=%v doneQ=%d bdOut=%d rxFree=%d\n",
+			rq.q, rq.seq, len(rq.arrivedQ), rq.bdCredit, len(rq.dmaDone), rq.set, rq.commitHead, rq.commitClaim, len(rq.doneQ), rq.bdFetchOut, fw.rxRing.available())
+	}
+	return s + fmt.Sprintf("events: %v", fw.Events)
 }

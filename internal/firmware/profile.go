@@ -84,6 +84,61 @@ const (
 // in flight.
 const FlagBits = 4096
 
+// MaxRxQueues bounds the RSS receive-queue count. Per-queue status-flag
+// arrays subdivide the fixed FlagsRecv region evenly, so the count must be
+// a power of two, and 16 queues still leave 256 flag bits per queue —
+// comfortably above each queue's share of in-flight frames.
+const MaxRxQueues = 16
+
+// RecvFlagBits returns the per-queue status-flag capacity with nq receive
+// queues: FlagBits with one queue (the whole legacy array), FlagBits/nq
+// otherwise.
+func RecvFlagBits(nq int) int { return FlagBits / nq }
+
+// FlagsRecvQ returns the base address of receive queue q's status-flag
+// subarray within the FlagsRecv region. Queue 0 of a single-queue build is
+// the legacy FlagsRecv array itself.
+func FlagsRecvQ(q, nq int) uint32 {
+	return FlagsRecv + uint32(q)*uint32(FlagBits/nq/8)
+}
+
+// Per-queue receive lock words. Queue 0 uses the legacy words — a
+// single-queue build touches exactly the seed addresses — and each
+// additional queue gets its own trio at RegionLocks+0x40 onward, so queues
+// never contend on one another's receive locks.
+
+// LockRecvBDQ returns queue q's receive-BD fetch lock.
+func LockRecvBDQ(q int) uint32 {
+	if q == 0 {
+		return LockRecvBD
+	}
+	return RegionLocks + 0x40 + uint32(q-1)*12
+}
+
+// LockRxPoolQ returns queue q's receive-pool lock.
+func LockRxPoolQ(q int) uint32 {
+	if q == 0 {
+		return LockRxPool
+	}
+	return RegionLocks + 0x40 + uint32(q-1)*12 + 4
+}
+
+// LockRecvOrdQ returns queue q's receive-ordering lock.
+func LockRecvOrdQ(q int) uint32 {
+	if q == 0 {
+		return LockRecvOrd
+	}
+	return RegionLocks + 0x40 + uint32(q-1)*12 + 8
+}
+
+// PtrRecvBDPoolQ returns queue q's receive-pool progress pointer.
+func PtrRecvBDPoolQ(q int) uint32 {
+	if q == 0 {
+		return PtrRecvBDPool
+	}
+	return RegionPtrs + 0x20 + uint32(q-1)*4
+}
+
 // IsFrameMetadata reports whether a scratchpad address holds frame metadata
 // (buffer descriptors, per-frame state, event structures) as opposed to
 // synchronization state (locks, status-flag arrays) or hardware registers

@@ -158,9 +158,9 @@ func (fw *Firmware) TakeOver(coreID int, preempted *cpu.Stream) {
 // OnComplete exactly once), so repairs are normally zero; this is the
 // belt-and-suspenders pass that restores the invariant if that ever breaks.
 func (fw *Firmware) repairFlags() {
-	fix := func(ba *mem.BitArray, set *uint64, head uint64) {
+	fix := func(ba *mem.BitArray, set *uint64, head uint64, bits int) {
 		n := 0
-		for i := 0; i < FlagBits; i++ {
+		for i := 0; i < bits; i++ {
 			if ba.IsSet(i) {
 				n++
 			}
@@ -169,13 +169,15 @@ func (fw *Firmware) repairFlags() {
 			*set = want
 			fw.FlagRepairs++
 		}
-		if ba.Head() != int(head%FlagBits) {
-			ba.Seek(int(head % FlagBits))
+		if ba.Head() != int(head%uint64(bits)) {
+			ba.Seek(int(head % uint64(bits)))
 			fw.FlagRepairs++
 		}
 	}
-	fix(fw.sendFlags, &fw.sendSet, fw.sendCommitHead)
-	fix(fw.recvFlags, &fw.recvSet, fw.recvCommitHead)
+	fix(fw.sendFlags, &fw.sendSet, fw.sendCommitHead, FlagBits)
+	for _, rq := range fw.rxq {
+		fix(rq.flags, &rq.set, rq.commitHead, rq.flagBits)
+	}
 }
 
 // AuditSend checks send-direction frame conservation: every frame the BD
@@ -190,13 +192,20 @@ func (fw *Firmware) AuditSend() error {
 	return nil
 }
 
-// AuditRecv checks receive-direction frame conservation.
+// AuditRecv checks receive-direction frame conservation across every queue:
+// each arrived frame is in exactly one queue's pipeline stage or committed.
 func (fw *Firmware) AuditRecv() error {
-	inFlight := uint64(len(fw.rxArrivedQ)+fw.claimedRecv+fw.dmaOutRecv+len(fw.rxDMADone)+fw.ordPendRecv) +
-		(fw.recvSet - fw.recvCommitHead)
-	if got := fw.recvSeq - fw.recvCommitHead; got != inFlight {
-		return fmt.Errorf("recv conservation: seq-head=%d but stages sum to %d (arrived=%d claimed=%d dmaOut=%d dmaDone=%d ordPend=%d set-head=%d)",
-			got, inFlight, len(fw.rxArrivedQ), fw.claimedRecv, fw.dmaOutRecv, len(fw.rxDMADone), fw.ordPendRecv, fw.recvSet-fw.recvCommitHead)
+	var arrived, dmaDone, setMinusHead, committed uint64
+	for _, rq := range fw.rxq {
+		arrived += uint64(len(rq.arrivedQ))
+		dmaDone += uint64(len(rq.dmaDone))
+		setMinusHead += rq.set - rq.commitHead
+		committed += rq.commitHead
+	}
+	inFlight := arrived + uint64(fw.claimedRecv+fw.dmaOutRecv) + dmaDone + uint64(fw.ordPendRecv) + setMinusHead
+	if got := fw.recvSeq - committed; got != inFlight {
+		return fmt.Errorf("recv conservation: seq-heads=%d but stages sum to %d (arrived=%d claimed=%d dmaOut=%d dmaDone=%d ordPend=%d set-head=%d)",
+			got, inFlight, arrived, fw.claimedRecv, fw.dmaOutRecv, dmaDone, fw.ordPendRecv, setMinusHead)
 	}
 	return nil
 }
@@ -205,8 +214,14 @@ func (fw *Firmware) AuditRecv() error {
 // zero means the pipelines are drained. The watchdog uses it to distinguish
 // a quiet machine from a livelocked one.
 func (fw *Firmware) PendingWork() int {
-	return int(fw.sendSeq-fw.sendCommitHead) + int(fw.recvSeq-fw.recvCommitHead) +
-		len(fw.txDoneQ) + len(fw.recvDoneQ) + len(fw.orphans)
+	var recvCommitted uint64
+	recvDone := 0
+	for _, rq := range fw.rxq {
+		recvCommitted += rq.commitHead
+		recvDone += len(rq.doneQ)
+	}
+	return int(fw.sendSeq-fw.sendCommitHead) + int(fw.recvSeq-recvCommitted) +
+		len(fw.txDoneQ) + recvDone + len(fw.orphans)
 }
 
 // ProgressSignature summarizes pipeline advance for the forward-progress
@@ -218,10 +233,15 @@ func (fw *Firmware) ProgressSignature() [8]uint64 {
 	if fw.rec != nil {
 		retried = fw.rec.Retried
 	}
+	var recvCommitted, recvSet uint64
+	for _, rq := range fw.rxq {
+		recvCommitted += rq.commitHead
+		recvSet += rq.set
+	}
 	return [8]uint64{
 		fw.sendSeq, fw.recvSeq,
-		fw.sendCommitHead, fw.recvCommitHead,
-		fw.sendSet, fw.recvSet,
+		fw.sendCommitHead, recvCommitted,
+		fw.sendSet, recvSet,
 		retried, fw.Takeovers,
 	}
 }
@@ -242,8 +262,11 @@ func (fw *Firmware) SabotageLeak(send bool) {
 			fw.prepQ = fw.prepQ[1:]
 		}
 	} else {
-		if len(fw.rxArrivedQ) > 0 {
-			fw.rxArrivedQ = fw.rxArrivedQ[1:]
+		for _, rq := range fw.rxq {
+			if len(rq.arrivedQ) > 0 {
+				rq.arrivedQ = rq.arrivedQ[1:]
+				return
+			}
 		}
 	}
 }
@@ -262,12 +285,15 @@ func (fw *Firmware) SabotageSwap(send bool) {
 			}
 		}
 	} else {
-		for i := uint64(0); i+1 < FlagBits; i++ {
-			a := (fw.recvCommitHead + i) % FlagBits
-			b := (fw.recvCommitHead + i + 1) % FlagBits
-			if fw.recvRing[a] != nil && fw.recvRing[b] != nil {
-				fw.recvRing[a], fw.recvRing[b] = fw.recvRing[b], fw.recvRing[a]
-				return
+		for _, rq := range fw.rxq {
+			bits := uint64(rq.flagBits)
+			for i := uint64(0); i+1 < bits; i++ {
+				a := (rq.commitHead + i) % bits
+				b := (rq.commitHead + i + 1) % bits
+				if rq.ring[a] != nil && rq.ring[b] != nil {
+					rq.ring[a], rq.ring[b] = rq.ring[b], rq.ring[a]
+					return
+				}
 			}
 		}
 	}

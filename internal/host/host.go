@@ -36,6 +36,13 @@ type Frame struct {
 	Dst    ethernet.MAC
 	BadCRC bool
 	Crit   bool
+
+	// Flow identity for receive-side scaling: the source address and UDP
+	// port pair that, with Dst, form the RSS hash tuple. All zero for the
+	// paper's baseline workloads, which are a single flow by construction.
+	Src     ethernet.MAC
+	SrcPort uint16
+	DstPort uint16
 }
 
 // RxBadCRC implements the MAC's frame-metadata interface: whether this frame
@@ -52,6 +59,15 @@ func (f *Frame) RxBadCRC() bool { return f.BadCRC }
 func (f *Frame) RxDst() (ethernet.MAC, bool) {
 	var zero ethernet.MAC
 	return f.Dst, f.Dst != zero
+}
+
+// RxFlow implements the MAC's flow-metadata interface: the tuple the RSS
+// hash covers. Baseline single-flow workloads return the zero tuple, which
+// hashes to one constant queue — exactly the affinity they had before RSS.
+//
+//nic:hotpath
+func (f *Frame) RxFlow() (src, dst ethernet.MAC, srcPort, dstPort uint16) {
+	return f.Src, f.Dst, f.SrcPort, f.DstPort
 }
 
 // HeaderBytes is the discontiguous header region of a sent frame: Ethernet,
@@ -78,17 +94,23 @@ type Config struct {
 	DMALatencyCycles int
 	// SendRing is the send descriptor ring capacity in frames.
 	SendRing int
-	// RecvRing is the number of receive buffers the driver keeps posted.
+	// RecvRing is the number of receive buffers the driver keeps posted on
+	// each receive queue.
 	RecvRing int
 	// PostBatch bounds descriptors posted per driver tick.
 	PostBatch int
+	// RxQueues is how many per-core receive rings the driver provisions
+	// (receive-side scaling). Must be at least 1; the paper's single-ring
+	// host is RxQueues 1. Omitted from serialized configurations at zero so
+	// integration layers can treat zero as "unset, default to one ring".
+	RxQueues int `json:",omitempty"`
 }
 
 // DefaultConfig returns a configuration matched to the paper's environment:
 // a ~1 µs DMA round trip at the 133 MHz host interface clock and rings deep
 // enough to cover it ("several hundred outstanding frames").
 func DefaultConfig() Config {
-	return Config{DMALatencyCycles: 133, SendRing: 512, RecvRing: 512, PostBatch: 64}
+	return Config{DMALatencyCycles: 133, SendRing: 512, RecvRing: 512, PostBatch: 64, RxQueues: 1}
 }
 
 // Validate reports the first configuration error, if any.
@@ -104,6 +126,9 @@ func (c Config) Validate() error {
 	}
 	if c.PostBatch <= 0 {
 		return fmt.Errorf("host: post batch must be positive, got %d", c.PostBatch)
+	}
+	if c.RxQueues <= 0 {
+		return fmt.Errorf("host: receive queues must be positive, got %d (use 1 for the single-ring host)", c.RxQueues)
 	}
 	return nil
 }
@@ -128,9 +153,9 @@ type Host struct {
 	inFlight      int // frames posted but not completed (ring occupancy)
 	mailboxWrites stats.Counter
 
-	// Receive side.
-	recvPosted int // receive buffers currently posted
-	recvTaken  int
+	// Receive side, one ring per RSS queue (index 0 is the classic single
+	// ring).
+	recv []recvQueue
 
 	// Fault model. The NIC sees only descriptors announced by a successful
 	// mailbox doorbell: sendVisible/recvVisible trail the actual ring state
@@ -139,7 +164,6 @@ type Host struct {
 	// driver entirely, modeling host descriptor-ring starvation.
 	starved      bool
 	sendVisible  int // send BDs announced to the NIC
-	recvVisible  int // receive buffers announced to the NIC
 	loseMailbox  int // armed doorbell losses
 	MailboxLost  stats.Counter
 	StarvedTicks stats.Counter
@@ -151,8 +175,14 @@ type Host struct {
 	RecvOutOfOrd  stats.Counter
 	RecvCorrupt   stats.Counter
 	RecvCritical  stats.Counter // delivered frames marked latency-critical
-	nextRecvSeq   uint64
-	haveRecvSeq   bool
+
+	// RecvCrossReord counts cross-queue arrival-order inversions, the
+	// ordering RSS deliberately relaxes: each queue stays in order (gated
+	// by RecvOutOfOrd), but two queues may drain at different rates. Only
+	// tracked with more than one queue; always zero on the seed path.
+	RecvCrossReord stats.Counter
+	nextRecvSeq    uint64
+	haveRecvSeq    bool
 
 	// JumboFrames widens payload validation to the jumbo frame limit,
 	// matching a jumbo-enabled MAC.
@@ -172,13 +202,34 @@ type delayed struct {
 	f  func()
 }
 
+// recvQueue is one per-core receive ring: buffers the driver keeps posted,
+// those announced to the NIC by a doorbell, those the NIC has consumed, and
+// the per-queue in-order validation state. Per-queue (not global) in-order
+// delivery is the invariant RSS preserves.
+type recvQueue struct {
+	posted  int
+	visible int
+	taken   int
+
+	nextSeq uint64
+	haveSeq bool
+
+	delivered uint64
+	outOfOrd  uint64
+}
+
 // New creates a host model. The configuration must already satisfy Validate;
 // callers building from user input should Validate first and report errors.
+// A zero RxQueues is treated as "unset" and defaults to the single ring, so
+// configurations serialized before RSS existed construct unchanged.
 func New(cfg Config) *Host {
+	if cfg.RxQueues == 0 {
+		cfg.RxQueues = 1
+	}
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Host{cfg: cfg}
+	return &Host{cfg: cfg, recv: make([]recvQueue, cfg.RxQueues)}
 }
 
 // SetStarved halts (true) or resumes (false) the driver, modeling descriptor
@@ -240,12 +291,19 @@ func (h *Host) Tick(cycle uint64) {
 // DMA completion pending, the driver not starved, no send descriptor work
 // possible, and both rings fully posted and announced.
 func (h *Host) Quiescent() bool {
-	return !h.starved &&
-		h.head == len(h.pending) &&
-		(h.Source == nil || h.inFlight >= h.cfg.SendRing) &&
-		h.sendVisible == len(h.sendBDs) &&
-		h.recvPosted == h.cfg.RecvRing &&
-		h.recvVisible >= h.recvPosted
+	if h.starved ||
+		h.head != len(h.pending) ||
+		(h.Source != nil && h.inFlight < h.cfg.SendRing) ||
+		h.sendVisible != len(h.sendBDs) {
+		return false
+	}
+	for i := range h.recv {
+		q := &h.recv[i]
+		if q.posted != h.cfg.RecvRing || q.visible < q.posted {
+			return false
+		}
+	}
+	return true
 }
 
 // SkipIdle advances the host clock across fast-forwarded idle cycles.
@@ -282,12 +340,19 @@ func (h *Host) driver() {
 			h.sendVisible = len(h.sendBDs)
 		}
 	}
-	if h.recvPosted < h.cfg.RecvRing {
-		h.recvPosted = h.cfg.RecvRing
-	}
-	if h.recvVisible < h.recvPosted {
-		if h.mailboxWrite() {
-			h.recvVisible = h.recvPosted
+	// Replenish and announce each receive queue independently: one doorbell
+	// per queue that has something new, so queue interrupts and BD
+	// production stay decoupled (with one queue this is the seed path's
+	// single doorbell, bit for bit).
+	for i := range h.recv {
+		q := &h.recv[i]
+		if q.posted < h.cfg.RecvRing {
+			q.posted = h.cfg.RecvRing
+		}
+		if q.visible < q.posted {
+			if h.mailboxWrite() {
+				q.visible = q.posted
+			}
 		}
 	}
 }
@@ -308,17 +373,27 @@ func (h *Host) TakeSendBDs(max int) []SendBD {
 	return out
 }
 
-// PostedRecvBDs returns the number of receive buffers the NIC can see.
-func (h *Host) PostedRecvBDs() int { return h.recvVisible - h.recvTaken }
+// RxQueues returns the number of receive queues the host provisions.
+func (h *Host) RxQueues() int { return len(h.recv) }
 
-// TakeRecvBDs consumes up to max posted receive buffers and returns how many
-// were taken.
-func (h *Host) TakeRecvBDs(max int) int {
-	avail := h.PostedRecvBDs()
+// QueueDelivered returns the frames delivered on queue q.
+func (h *Host) QueueDelivered(q int) uint64 { return h.recv[q].delivered }
+
+// QueueOutOfOrd returns queue q's in-order delivery violations.
+func (h *Host) QueueOutOfOrd(q int) uint64 { return h.recv[q].outOfOrd }
+
+// PostedRecvBDs returns the number of receive buffers the NIC can see on
+// queue q.
+func (h *Host) PostedRecvBDs(q int) int { return h.recv[q].visible - h.recv[q].taken }
+
+// TakeRecvBDs consumes up to max posted receive buffers of queue q and
+// returns how many were taken.
+func (h *Host) TakeRecvBDs(q, max int) int {
+	avail := h.PostedRecvBDs(q)
 	if max > avail {
 		max = avail
 	}
-	h.recvTaken += max
+	h.recv[q].taken += max
 	return max
 }
 
@@ -332,23 +407,36 @@ func (h *Host) CompleteSend(n int) {
 	h.SendCompleted.Add(uint64(n))
 }
 
-// DeliverFrame hands one received frame to the host, consuming a receive
-// buffer. It validates sequence order — the NIC must deliver frames in
-// arrival order to avoid TCP performance collapse — and, when real bytes are
-// carried, the frame and UDP checksums.
-func (h *Host) DeliverFrame(f *Frame) {
-	h.recvPosted--
-	h.recvVisible--
-	h.recvTaken--
+// DeliverFrame hands one received frame to the host on receive queue queue,
+// consuming one of that queue's buffers. It validates per-queue sequence
+// order — RSS steers each flow to one queue, so a queue delivering backward
+// is the reordering TCP collapses under — and, when real bytes are carried,
+// the frame and UDP checksums.
+func (h *Host) DeliverFrame(f *Frame, queue int) {
+	rq := &h.recv[queue]
+	rq.posted--
+	rq.visible--
+	rq.taken--
+	rq.delivered++
 	h.RecvDelivered.Inc()
 	h.RecvBytes.Add(uint64(f.UDPSize))
 	// Frames dropped at the MAC leave forward gaps, which are not
 	// reordering; only a backward step violates in-order delivery.
-	if h.haveRecvSeq && f.Seq < h.nextRecvSeq {
+	if rq.haveSeq && f.Seq < rq.nextSeq {
+		rq.outOfOrd++
 		h.RecvOutOfOrd.Inc()
 	}
-	h.nextRecvSeq = f.Seq + 1
-	h.haveRecvSeq = true
+	rq.nextSeq = f.Seq + 1
+	rq.haveSeq = true
+	// Cross-queue order is deliberately relaxed under RSS; count the
+	// inversions separately so reports can show the cost of the relaxation.
+	if len(h.recv) > 1 {
+		if h.haveRecvSeq && f.Seq < h.nextRecvSeq {
+			h.RecvCrossReord.Inc()
+		}
+		h.nextRecvSeq = f.Seq + 1
+		h.haveRecvSeq = true
+	}
 	if f.Crit {
 		h.RecvCritical.Inc()
 	}

@@ -92,18 +92,18 @@ func TestSendRingBackpressure(t *testing.T) {
 func TestRecvPoolReplenishment(t *testing.T) {
 	h := New(Config{DMALatencyCycles: 1, SendRing: 4, RecvRing: 16, PostBatch: 64})
 	h.Tick(0)
-	if got := h.PostedRecvBDs(); got != 16 {
+	if got := h.PostedRecvBDs(0); got != 16 {
 		t.Fatalf("posted recv BDs = %d, want 16", got)
 	}
-	if got := h.TakeRecvBDs(20); got != 16 {
+	if got := h.TakeRecvBDs(0, 20); got != 16 {
 		t.Errorf("took %d, want 16", got)
 	}
 	// Deliver four frames; the driver replenishes on the next tick.
 	for i := 0; i < 4; i++ {
-		h.DeliverFrame(&Frame{Seq: uint64(i), UDPSize: 100, Size: 146})
+		h.DeliverFrame(&Frame{Seq: uint64(i), UDPSize: 100, Size: 146}, 0)
 	}
 	h.Tick(1)
-	if got := h.PostedRecvBDs(); got != 4 {
+	if got := h.PostedRecvBDs(0); got != 4 {
 		t.Errorf("replenished %d, want 4", got)
 	}
 }
@@ -111,14 +111,14 @@ func TestRecvPoolReplenishment(t *testing.T) {
 func TestDeliveryOrderValidation(t *testing.T) {
 	h := New(DefaultConfig())
 	h.Tick(0)
-	h.TakeRecvBDs(4)
-	h.DeliverFrame(&Frame{Seq: 0})
-	h.DeliverFrame(&Frame{Seq: 2}) // forward gap (a drop): not a violation
-	h.DeliverFrame(&Frame{Seq: 3})
+	h.TakeRecvBDs(0, 4)
+	h.DeliverFrame(&Frame{Seq: 0}, 0)
+	h.DeliverFrame(&Frame{Seq: 2}, 0) // forward gap (a drop): not a violation
+	h.DeliverFrame(&Frame{Seq: 3}, 0)
 	if h.RecvOutOfOrd.Value() != 0 {
 		t.Errorf("out of order count after forward gap = %d, want 0", h.RecvOutOfOrd.Value())
 	}
-	h.DeliverFrame(&Frame{Seq: 1}) // backward step: reordering
+	h.DeliverFrame(&Frame{Seq: 1}, 0) // backward step: reordering
 	if h.RecvOutOfOrd.Value() != 1 {
 		t.Errorf("out of order count = %d, want 1", h.RecvOutOfOrd.Value())
 	}
@@ -127,11 +127,91 @@ func TestDeliveryOrderValidation(t *testing.T) {
 	}
 }
 
+func TestConfigValidateRxQueues(t *testing.T) {
+	for _, n := range []int{0, -1, -8} {
+		cfg := DefaultConfig()
+		cfg.RxQueues = n
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted RxQueues = %d", n)
+		}
+	}
+	// New treats zero as "unset" for pre-RSS configurations, but explicit
+	// negatives must still panic through Validate.
+	cfg := DefaultConfig()
+	cfg.RxQueues = 0
+	if h := New(cfg); h.RxQueues() != 1 {
+		t.Errorf("New with zero RxQueues built %d queues, want 1", h.RxQueues())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted negative RxQueues")
+		}
+	}()
+	cfg.RxQueues = -2
+	New(cfg)
+}
+
+func TestMultiQueueRingsAreIndependent(t *testing.T) {
+	cfg := Config{DMALatencyCycles: 1, SendRing: 4, RecvRing: 8, PostBatch: 64, RxQueues: 4}
+	h := New(cfg)
+	h.Tick(0)
+	for q := 0; q < 4; q++ {
+		if got := h.PostedRecvBDs(q); got != 8 {
+			t.Fatalf("queue %d posted %d BDs, want a full ring of 8", q, got)
+		}
+	}
+	h.TakeRecvBDs(1, 8)
+	if got := h.PostedRecvBDs(0); got != 8 {
+		t.Errorf("taking queue 1's BDs drained queue 0 to %d", got)
+	}
+	// Per-queue sequence order: even seqs on queue 0, odd on queue 1. Each
+	// queue sees only forward steps, so no violation is flagged even though
+	// the interleaved global order inverts constantly.
+	h.TakeRecvBDs(0, 8)
+	h.DeliverFrame(&Frame{Seq: 0}, 0)
+	h.DeliverFrame(&Frame{Seq: 3}, 1)
+	h.DeliverFrame(&Frame{Seq: 2}, 0) // global inversion (3 then 2), per-queue forward
+	h.DeliverFrame(&Frame{Seq: 5}, 1)
+	if h.RecvOutOfOrd.Value() != 0 {
+		t.Errorf("per-queue order violations = %d, want 0", h.RecvOutOfOrd.Value())
+	}
+	if h.RecvCrossReord.Value() != 1 {
+		t.Errorf("cross-queue reorder count = %d, want 1", h.RecvCrossReord.Value())
+	}
+	// A backward step within one queue is the real invariant violation.
+	h.DeliverFrame(&Frame{Seq: 1}, 1)
+	if h.RecvOutOfOrd.Value() != 1 || h.QueueOutOfOrd(1) != 1 || h.QueueOutOfOrd(0) != 0 {
+		t.Errorf("violations global=%d q0=%d q1=%d, want 1 only on queue 1",
+			h.RecvOutOfOrd.Value(), h.QueueOutOfOrd(0), h.QueueOutOfOrd(1))
+	}
+	if h.QueueDelivered(0) != 2 || h.QueueDelivered(1) != 3 {
+		t.Errorf("per-queue delivered = %d/%d, want 2/3", h.QueueDelivered(0), h.QueueDelivered(1))
+	}
+	if h.RecvDelivered.Value() != 5 {
+		t.Errorf("total delivered = %d, want 5", h.RecvDelivered.Value())
+	}
+}
+
+func TestSingleQueueNeverCountsCrossReorder(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Tick(0)
+	h.TakeRecvBDs(0, 3)
+	h.DeliverFrame(&Frame{Seq: 2}, 0)
+	h.DeliverFrame(&Frame{Seq: 0}, 0)
+	h.DeliverFrame(&Frame{Seq: 1}, 0)
+	if h.RecvCrossReord.Value() != 0 {
+		t.Errorf("single ring counted %d cross-queue reorders", h.RecvCrossReord.Value())
+	}
+	if h.RecvOutOfOrd.Value() != 1 {
+		t.Errorf("out of order = %d, want 1 (2,0 backward step; 0,1 forward)", h.RecvOutOfOrd.Value())
+	}
+}
+
 func TestCorruptFrameDetected(t *testing.T) {
 	h := New(DefaultConfig())
 	h.Tick(0)
-	h.TakeRecvBDs(1)
-	h.DeliverFrame(&Frame{Seq: 0, UDPSize: 100, Size: 146, Wire: make([]byte, 146)})
+	h.TakeRecvBDs(0, 1)
+	h.DeliverFrame(&Frame{Seq: 0, UDPSize: 100, Size: 146, Wire: make([]byte, 146)}, 0)
 	if h.RecvCorrupt.Value() != 1 {
 		t.Errorf("corrupt count = %d, want 1 for a zeroed frame", h.RecvCorrupt.Value())
 	}

@@ -87,6 +87,21 @@ func (t *dirTracker) finish(fl *frameLat, at sim.Picoseconds) {
 	}
 }
 
+// latencyOf reads frame seq's end-to-end latency ending at time at, using
+// the same origin fallback as finish. ok is false when the slot holds no
+// usable start (enabled mid-stream, or the ring already wrapped).
+func (t *dirTracker) latencyOf(seq uint64, at sim.Picoseconds) (sim.Picoseconds, bool) {
+	fl := &t.ring[seq&uint64(len(t.ring)-1)]
+	start := fl.t[0]
+	if start == 0 {
+		start = fl.t[1]
+	}
+	if start == 0 || at < start {
+		return 0, false
+	}
+	return at - start, true
+}
+
 func (t *dirTracker) reset() {
 	t.hist.Reset()
 	for i := range t.stageSum {
@@ -116,10 +131,30 @@ type DirLatency struct {
 	Stages []StageLatency `json:"stages"`
 }
 
-// LatencyReport is the Latency section of a core report.
+// QueueLatency is one receive queue's latency and occupancy summary,
+// present only on multi-queue builds (EnableRecvQueues).
+type QueueLatency struct {
+	Queue  int     `json:"queue"`
+	Frames uint64  `json:"frames"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+
+	// MeanOccupancy is the time-weighted mean number of frames in flight on
+	// this queue (buffered but not yet delivered) over the measurement
+	// window; MaxOccupancy is its peak.
+	MeanOccupancy float64 `json:"mean_occupancy"`
+	MaxOccupancy  int     `json:"max_occupancy"`
+}
+
+// LatencyReport is the Latency section of a core report. RecvQueues is
+// omitted on single-ring builds, keeping their reports byte-identical to
+// pre-RSS ones.
 type LatencyReport struct {
 	Send DirLatency `json:"send"`
 	Recv DirLatency `json:"recv"`
+
+	RecvQueues []QueueLatency `json:"recv_queues,omitempty"`
 }
 
 func us(p sim.Picoseconds) float64 { return float64(p) / 1e6 }
@@ -153,8 +188,24 @@ func (r *Recorder) LatencyReport() *LatencyReport {
 	if r == nil {
 		return nil
 	}
-	return &LatencyReport{
+	lr := &LatencyReport{
 		Send: r.lat[Send].report(Send),
 		Recv: r.lat[Recv].report(Recv),
 	}
+	for i := range r.recvQ {
+		q := &r.recvQ[i]
+		ql := QueueLatency{
+			Queue:        i,
+			Frames:       q.hist.N(),
+			P50Us:        us(q.hist.Quantile(0.50)),
+			P99Us:        us(q.hist.Quantile(0.99)),
+			MaxUs:        us(q.hist.Max()),
+			MaxOccupancy: q.occMax,
+		}
+		if span := q.last - q.resetAt; span > 0 {
+			ql.MeanOccupancy = float64(q.occSum) / float64(span)
+		}
+		lr.RecvQueues = append(lr.RecvQueues, ql)
+	}
+	return lr
 }

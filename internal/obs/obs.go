@@ -143,6 +143,35 @@ type Recorder struct {
 	frameTrack [numDirs]int32
 
 	lat [numDirs]dirTracker
+
+	// recvQ holds per-receive-queue latency/occupancy trackers, allocated by
+	// EnableRecvQueues on multi-queue builds; nil keeps single-ring latency
+	// reports byte-identical to pre-RSS builds.
+	recvQ []queueTracker
+}
+
+// queueTracker aggregates one receive queue's end-to-end latency histogram
+// and its time-weighted in-flight occupancy (frames between buffering and
+// delivery).
+type queueTracker struct {
+	hist Histogram
+
+	cur     int             // frames currently in flight on this queue
+	last    sim.Picoseconds // time of the last occupancy change
+	resetAt sim.Picoseconds // start of the measurement window
+	occSum  sim.Picoseconds // integral of cur over time since resetAt
+	occMax  int
+}
+
+func (q *queueTracker) occStep(at sim.Picoseconds, delta int) {
+	if at > q.last {
+		q.occSum += sim.Picoseconds(q.cur) * (at - q.last)
+		q.last = at
+	}
+	q.cur += delta
+	if q.cur > q.occMax {
+		q.occMax = q.cur
+	}
 }
 
 // NewRecorder builds a recorder. now supplies the current simulated time
@@ -255,6 +284,44 @@ func (r *Recorder) FrameStage(dir Dir, stage int, seq uint64) {
 	}
 }
 
+// EnableRecvQueues allocates per-receive-queue latency and occupancy
+// trackers for a multi-queue build; call during wiring, before the run.
+// Without this call FrameStageQ degrades to FrameStage and the latency
+// report carries no per-queue section.
+func (r *Recorder) EnableRecvQueues(n int) {
+	if r == nil || n <= 1 {
+		return
+	}
+	r.recvQ = make([]queueTracker, n)
+}
+
+// FrameStageQ timestamps one lifecycle stage of receive frame seq on a
+// specific queue: FrameStage's aggregation plus, when per-queue tracking is
+// enabled, queue occupancy (entered at buffering, left at delivery) and the
+// per-queue end-to-end latency histogram.
+//
+//nic:hotpath
+func (r *Recorder) FrameStageQ(dir Dir, stage int, seq uint64, queue int) {
+	if r == nil {
+		return
+	}
+	r.FrameStage(dir, stage, seq)
+	if dir != Recv || queue < 0 || queue >= len(r.recvQ) {
+		return
+	}
+	q := &r.recvQ[queue]
+	at := r.now()
+	switch stage {
+	case RecvBuffered:
+		q.occStep(at, 1)
+	case RecvDelivered:
+		q.occStep(at, -1)
+		if lat, ok := r.lat[Recv].latencyOf(seq, at); ok {
+			q.hist.Add(lat)
+		}
+	}
+}
+
 // ResetLatency clears the aggregated latency statistics (histograms, stage
 // accumulators) without touching in-flight per-frame timestamps, so a frame
 // spanning the reset still reports its true latency. Call at the start of
@@ -265,6 +332,15 @@ func (r *Recorder) ResetLatency() {
 	}
 	r.lat[Send].reset()
 	r.lat[Recv].reset()
+	for i := range r.recvQ {
+		q := &r.recvQ[i]
+		q.hist.Reset()
+		now := r.now()
+		q.occStep(now, 0)
+		q.resetAt = now
+		q.occSum = 0
+		q.occMax = q.cur
+	}
 }
 
 // EventsRecorded returns total events recorded and how many the ring

@@ -37,6 +37,23 @@ func Metrics(r Result) map[string]float64 {
 		m["recv_p99_us"] = rep.Latency.Recv.P99Us
 		m["send_p99_us"] = rep.Latency.Send.P99Us
 	}
+	// RSS multi-queue receive: the spread across queues, cross-queue
+	// reordering, and the summed per-queue counters all gate, so a steering
+	// or per-queue-pipeline regression fails even when aggregate throughput
+	// is unchanged.
+	if rep.RSS != nil {
+		m["rss_queue_skew"] = rep.RSS.QueueSkew
+		m["rss_cross_reorder"] = float64(rep.RSS.CrossReorder)
+		var frames, drops, ooo uint64
+		for _, q := range rep.RSS.PerQueue {
+			frames += q.Frames
+			drops += q.Drops
+			ooo += q.OutOfOrder
+		}
+		m["rss_frames"] = float64(frames)
+		m["rss_queue_drops"] = float64(drops)
+		m["rss_queue_ooo"] = float64(ooo)
+	}
 	return m
 }
 

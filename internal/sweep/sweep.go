@@ -53,6 +53,12 @@ type Spec struct {
 	UDPSize int   `json:"udp_size"`
 	Seed    int64 `json:"seed"`
 
+	// RxQueues and Steering select the RSS multi-queue receive build point.
+	// Zero/empty is the seed's single-ring controller and is omitted from the
+	// JSON encoding, so every pre-existing spec hash is unchanged.
+	RxQueues int    `json:"rx_queues,omitempty"`
+	Steering string `json:"steering,omitempty"`
+
 	// Simulation budget, picoseconds of simulated time.
 	WarmupPs  uint64 `json:"warmup_ps"`
 	MeasurePs uint64 `json:"measure_ps"`

@@ -65,6 +65,13 @@ type TrafficSpec struct {
 	Class   string `json:"class"`
 	Arrival string `json:"arrival,omitempty"` // empty = saturate
 	Seed    int64  `json:"seed,omitempty"`
+
+	// Flows spreads the stream's well-formed frames across this many distinct
+	// flow identities (source MAC/port tuples) so an RSS receive stage has
+	// something to steer. Zero or one keeps the seed's single-flow stream
+	// byte-identical. Flow identity derives arithmetically from the frame
+	// sequence number — no PRNG draw — so arrival schedules are unchanged.
+	Flows int `json:"flows,omitempty"`
 }
 
 // Validate reports the first specification error, if any.
@@ -89,11 +96,15 @@ func (t TrafficSpec) Validate() error {
 			return fmt.Errorf("workload: unknown arrival process %q (have %s)", t.Arrival, strings.Join(trafficArrivals, ", "))
 		}
 	}
+	if t.Flows < 0 {
+		return fmt.Errorf("workload: flow count must be positive, got %d (omit or use flows=1 for a single flow)", t.Flows)
+	}
 	return nil
 }
 
-// ParseTraffic parses the compact CLI syntax "class[,arrival][,seed=N]",
-// e.g. "badcrc", "mcast,burst", "mixed,pareto,seed=7".
+// ParseTraffic parses the compact CLI syntax
+// "class[,arrival][,seed=N][,flows=N]", e.g. "badcrc", "mcast,burst",
+// "mixed,pareto,seed=7", "uniform,flows=64".
 func ParseTraffic(s string) (TrafficSpec, error) {
 	var t TrafficSpec
 	for i, part := range strings.Split(s, ",") {
@@ -107,6 +118,12 @@ func ParseTraffic(s string) (TrafficSpec, error) {
 				return TrafficSpec{}, fmt.Errorf("workload: bad traffic seed %q", part)
 			}
 			t.Seed = seed
+		case strings.HasPrefix(part, "flows="):
+			n, err := strconv.Atoi(strings.TrimPrefix(part, "flows="))
+			if err != nil || n <= 0 {
+				return TrafficSpec{}, fmt.Errorf("workload: bad traffic flow count %q (want flows=N with N ≥ 1)", part)
+			}
+			t.Flows = n
 		case i == 0:
 			t.Class = part
 		case t.Arrival == "":
@@ -316,10 +333,28 @@ func (a *Adversary) wellFormed(udp int, dst ethernet.MAC, crit bool) *host.Frame
 	}
 	f := &host.Frame{Seq: a.seq, UDPSize: udp, Size: size, Dst: dst, Crit: crit}
 	a.seq++
+	a.flowIdentity(f)
 	if a.withPayload {
 		f.Wire = marshalUDP(f.Seq, udp, dst)
 	}
 	return f
+}
+
+// flowIdentity stamps the frame's flow tuple (source MAC and UDP ports) for
+// a multi-flow spec. The flow id is a pure function of the sequence number —
+// a multiplicative scramble so adjacent frames land on different flows — and
+// draws nothing from the PRNG, keeping arrival schedules identical to the
+// single-flow stream.
+func (a *Adversary) flowIdentity(f *host.Frame) {
+	if a.Spec.Flows <= 1 {
+		return
+	}
+	fid := f.Seq * 0x9E3779B1 % uint64(a.Spec.Flows)
+	f.Src = PeerMAC
+	f.Src[4] = byte(fid >> 8)
+	f.Src[5] = byte(fid)
+	f.SrcPort = 5001 + uint16(fid&0xff)
+	f.DstPort = 5002
 }
 
 // marshalUDP serializes one UDP frame with the sequence tag embedded in the

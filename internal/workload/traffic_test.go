@@ -235,3 +235,71 @@ func TestArrivalGapsAndTxGate(t *testing.T) {
 		}
 	}
 }
+
+func TestParseTrafficFlows(t *testing.T) {
+	good := []struct {
+		in   string
+		want TrafficSpec
+	}{
+		{"uniform,flows=64", TrafficSpec{Class: ClassUniform, Flows: 64}},
+		{"mixed,pareto,flows=16", TrafficSpec{Class: ClassMixed, Arrival: ArrivalPareto, Flows: 16}},
+		{"priority,sync,seed=3,flows=8", TrafficSpec{Class: ClassPriority, Arrival: ArrivalSync, Seed: 3, Flows: 8}},
+	}
+	for _, c := range good {
+		got, err := ParseTraffic(c.in)
+		if err != nil {
+			t.Fatalf("ParseTraffic(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseTraffic(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"uniform,flows=0", "uniform,flows=-4", "uniform,flows=x", "uniform,flows="} {
+		if _, err := ParseTraffic(in); err == nil {
+			t.Fatalf("ParseTraffic(%q) accepted", in)
+		}
+	}
+	bad := TrafficSpec{Class: ClassUniform, Flows: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted negative flow count")
+	}
+}
+
+// TestFlowIdentityDeterministicAndScheduleNeutral: the flow tuple is a pure
+// function of the sequence number, spreads across the requested flow count,
+// and — because it draws nothing from the PRNG — leaves the (size, gap)
+// arrival schedule identical to the single-flow stream.
+func TestFlowIdentityDeterministicAndScheduleNeutral(t *testing.T) {
+	const flows = 64
+	one := NewAdversary(TrafficSpec{Class: ClassUniform, Arrival: ArrivalBurst, Seed: 3}, 1472, false)
+	many := NewAdversary(TrafficSpec{Class: ClassUniform, Arrival: ArrivalBurst, Seed: 3, Flows: flows}, 1472, false)
+	tuples := map[uint64][4]uint64{}
+	seen := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		sa, fa, oka := one.Next()
+		sb, fb, okb := many.Next()
+		if sa != sb || oka != okb {
+			t.Fatalf("flows=%d changed the arrival schedule at poll %d", flows, i)
+		}
+		if !okb {
+			continue
+		}
+		f := fb.(*host.Frame)
+		if fa.(*host.Frame).Seq != f.Seq {
+			t.Fatalf("flows=%d changed sequence numbering at poll %d", flows, i)
+		}
+		fid := f.Seq * 0x9E3779B1 % flows
+		seen[fid] = true
+		tup := [4]uint64{uint64(f.Src[4]), uint64(f.Src[5]), uint64(f.SrcPort), uint64(f.DstPort)}
+		if prev, ok := tuples[fid]; ok && prev != tup {
+			t.Fatalf("flow %d changed tuple %v -> %v", fid, prev, tup)
+		}
+		tuples[fid] = tup
+		if f.SrcPort != 5001+uint16(fid&0xff) || f.DstPort != 5002 {
+			t.Fatalf("seq %d: port pair %d/%d does not match flow %d", f.Seq, f.SrcPort, f.DstPort, fid)
+		}
+	}
+	if len(seen) != flows {
+		t.Errorf("only %d of %d flows appeared in 20000 polls", len(seen), flows)
+	}
+}
