@@ -24,6 +24,8 @@ import (
 )
 
 // Config selects one controller build point.
+//
+//nic:hashstable 1d28fba4d398
 type Config struct {
 	Cores  int
 	CPUMHz float64

@@ -11,6 +11,8 @@ import (
 // present in a Report only when a fault plan was attached; values are run
 // totals (injection instants are absolute, so windowed diffs would split
 // events arbitrarily).
+//
+//nic:hashstable 66b9c6700eeb
 type FaultReport struct {
 	Plan string `json:"plan"`
 	Seed int64  `json:"seed"`

@@ -111,6 +111,8 @@ func (n *NIC) snapshot() snapshot {
 }
 
 // FuncRow is one per-function attribution row, normalized per frame.
+//
+//nic:hashstable 5ea8021b63b7
 type FuncRow struct {
 	Name         string  `json:"name"`
 	CyclesPerFrm float64 `json:"cycles_per_frame"`
@@ -119,6 +121,8 @@ type FuncRow struct {
 }
 
 // Report is everything the experiments read out of one run.
+//
+//nic:hashstable f8af417402b8
 type Report struct {
 	Cfg     Config  `json:"cfg"`
 	UDPSize int     `json:"udp_size"`
@@ -193,6 +197,8 @@ type Report struct {
 
 // RSSReport is the multi-queue receive section: how the RSS stage spread
 // frames across queues and what each queue delivered.
+//
+//nic:hashstable 35690cd4c122
 type RSSReport struct {
 	Queues   int    `json:"queues"`
 	Steering string `json:"steering"`
@@ -210,6 +216,8 @@ type RSSReport struct {
 }
 
 // RSSQueue is one receive queue's measurement-window totals.
+//
+//nic:hashstable 2fd0751a8fef
 type RSSQueue struct {
 	// Steered counts frames the RSS stage admitted and directed here;
 	// Frames counts those the host driver actually took off the ring.
@@ -221,6 +229,8 @@ type RSSQueue struct {
 }
 
 // FuncBreakdown is one direction's per-frame rows.
+//
+//nic:hashstable 9eda4586d3db
 type FuncBreakdown struct {
 	FetchBD   FuncRow `json:"fetch_bd"`
 	Frame     FuncRow `json:"frame"`

@@ -17,6 +17,8 @@ import (
 // SLO is pure data: it embeds into sweep.Spec (content-hashed) and its
 // result lands in Report.SLO, so SLO regressions gate exactly like
 // throughput regressions.
+//
+//nic:hashstable e3b0c44298fc
 type SLO struct {
 	// RecvP99Us bounds the receive-path p99 frame latency in microseconds.
 	RecvP99Us float64 `json:"recv_p99_us,omitempty"`
@@ -79,6 +81,8 @@ func ParseSLO(s string) (SLO, error) {
 }
 
 // SLOCheck is one evaluated assertion.
+//
+//nic:hashstable 7900f6023670
 type SLOCheck struct {
 	Name  string  `json:"name"`
 	Bound float64 `json:"bound"`
@@ -88,6 +92,8 @@ type SLOCheck struct {
 
 // SLOReport is the SLO section of a report: the evaluated checks in a fixed
 // order and the number that failed.
+//
+//nic:hashstable 6638779c8e3e
 type SLOReport struct {
 	Violations uint64     `json:"violations"`
 	Checks     []SLOCheck `json:"checks"`
@@ -96,6 +102,8 @@ type SLOReport struct {
 // TrafficReport is the adversarial-traffic section of a report: what the
 // hostile source offered during the measurement window and what the MAC
 // rejected, per class.
+//
+//nic:hashstable 7f9273c34887
 type TrafficReport struct {
 	Class   string `json:"class"`
 	Arrival string `json:"arrival,omitempty"`

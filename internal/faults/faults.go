@@ -78,6 +78,8 @@ func counted(k Kind) bool {
 }
 
 // Event is one scheduled fault.
+//
+//nic:hashstable 36054d9f25ef
 type Event struct {
 	Kind Kind `json:"kind"`
 	// At is the injection instant in simulated picoseconds.
@@ -99,6 +101,8 @@ type Event struct {
 
 // Plan is a complete fault scenario: a seed for the injector's spacing PRNG
 // plus the scheduled events. The zero Plan is the empty (fault-free) plan.
+//
+//nic:hashstable e3b0c44298fc
 type Plan struct {
 	Seed   int64   `json:"seed,omitempty"`
 	Events []Event `json:"events,omitempty"`

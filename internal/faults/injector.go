@@ -43,6 +43,8 @@ const (
 )
 
 // Counters tallies injected faults; all values are totals since Arm.
+//
+//nic:hashstable 6b01905120f8
 type Counters struct {
 	RxCorrupt      uint64 `json:"rx_corrupt"`
 	RxDrop         uint64 `json:"rx_drop"`

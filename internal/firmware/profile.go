@@ -392,7 +392,7 @@ type hazardEntry struct {
 
 var (
 	hazardMu    sync.RWMutex
-	hazardCache = map[hazardKey]*hazardEntry{}
+	hazardCache = map[hazardKey]*hazardEntry{} //nic:guardedby hazardMu
 )
 
 const (

@@ -43,9 +43,9 @@ func OpenJSONL(path string) (Backend, error) {
 // A nil-value MemBackend is not usable; construct with NewMemBackend.
 type MemBackend struct {
 	mu     sync.Mutex
-	byHash map[string]sweep.Result
+	byHash map[string]sweep.Result //nic:guardedby mu
 	// FailPuts, when set, makes PutBatch fail — a test hook for the
-	// store-error accounting path.
+	// store-error accounting path. Set it before sharing the backend.
 	FailPuts error
 }
 

@@ -29,6 +29,10 @@ type Batcher struct {
 	size     int
 	interval time.Duration
 
+	// The batcher is channel-disciplined rather than mutex-guarded: loop()
+	// is the only goroutine touching buf and lastErr, and readers observe
+	// lastErr only after <-stopped, whose close happens-after the final
+	// write. guardlint has nothing to check here by construction.
 	ch       chan sweep.Result
 	flushReq chan chan error
 	done     chan struct{}

@@ -71,12 +71,12 @@ type Coordinator struct {
 	now     func() time.Time
 
 	mu       sync.Mutex
-	jobs     map[string]*fleetJob // by spec hash
-	queue    []string             // pending hashes, FIFO
-	leases   map[string]*fleetJob // by lease ID
-	leaseSeq int64
-	workers  map[string]bool // names seen
-	closed   bool
+	jobs     map[string]*fleetJob //nic:guardedby mu — by spec hash
+	queue    []string             //nic:guardedby mu — pending hashes, FIFO
+	leases   map[string]*fleetJob //nic:guardedby mu — by lease ID
+	leaseSeq int64                //nic:guardedby mu
+	workers  map[string]bool      //nic:guardedby mu — names seen
+	closed   bool                 //nic:guardedby mu
 }
 
 // NewCoordinator starts a coordinator over cfg.Backend.
@@ -133,6 +133,9 @@ func (c *Coordinator) Submit(jobs []sweep.Job) SubmitResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var resp SubmitResponse
+	if c.closed {
+		return resp // nothing accepted: the batcher no longer persists
+	}
 	for _, j := range jobs {
 		c.metrics.Add(MJobsSubmitted, 1)
 		h := j.Spec.Hash()
@@ -169,6 +172,9 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return LeaseResponse{Drained: true} // send workers home
+	}
 	if req.Worker != "" {
 		c.workers[req.Worker] = true
 	}
@@ -211,6 +217,11 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		// The batcher is gone; accepting would count an execution whose
+		// result silently never persists.
+		return CompleteResponse{}
+	}
 	if req.Worker != "" {
 		c.workers[req.Worker] = true
 	}
@@ -266,6 +277,8 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 }
 
 // settleLocked finalizes a successful result. Callers hold c.mu.
+//
+//nic:locked mu
 func (c *Coordinator) settleLocked(fj *fleetJob, res sweep.Result) {
 	fj.state = stateDone
 	fj.leaseID = ""
@@ -324,6 +337,8 @@ func (c *Coordinator) Flush() error { return c.batcher.Flush() }
 
 // drainedLocked reports whether no work is pending or leased. Callers hold
 // c.mu.
+//
+//nic:locked mu
 func (c *Coordinator) drainedLocked() bool {
 	for _, fj := range c.jobs {
 		if fj.state == statePending || fj.state == stateLeased {
@@ -336,6 +351,8 @@ func (c *Coordinator) drainedLocked() bool {
 // expireLocked reaps leases whose deadline passed: within the retry budget
 // the job re-queues; beyond it the job fails with a synthesized lost-worker
 // result. Callers hold c.mu.
+//
+//nic:locked mu
 func (c *Coordinator) expireLocked(now time.Time) {
 	var expired []*fleetJob
 	for id, fj := range c.leases {

@@ -36,7 +36,7 @@ const (
 // concurrent use.
 type Metrics struct {
 	mu sync.Mutex
-	c  map[string]int64
+	c  map[string]int64 //nic:guardedby mu
 }
 
 // NewMetrics returns an empty counter set.

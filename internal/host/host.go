@@ -89,6 +89,8 @@ type SendSource interface {
 }
 
 // Config sizes the host model.
+//
+//nic:hashstable 1a32ae0a93c5
 type Config struct {
 	// DMALatencyCycles is the host round-trip latency in host clock cycles.
 	DMALatencyCycles int

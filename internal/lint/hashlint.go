@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// Hashlint statically enforces the byte-identical-report invariant for
+// structs that feed committed content hashes (sweep.Spec, core.Config,
+// Report and its sections). A struct annotated //nic:hashstable <sig> pins
+// the signature of its always-encoding surface: the sha256 (first 12 hex
+// digits) over the json names and types of every exported field that
+// encoding/json emits unconditionally — i.e. everything not tagged
+// `json:"-"` or `,omitempty`. Adding a field without ,omitempty changes the
+// signature, so the analyzer fails until the author either tags the field
+// (hashes stay stable) or deliberately re-pins (an acknowledged hash break).
+// When the signature argument is missing, the diagnostic prints the current
+// value for pinning. Two companion rules: ,omitempty on struct- or
+// non-empty-array-kinded fields is flagged (encoding/json always emits
+// those, so the tag silently fails to protect the hash), and methods of
+// hash-stable types must not range over maps (iteration order would leak
+// into encoders) unless marked //nic:unordered.
+var Hashlint = &Analyzer{
+	Name: "hashlint",
+	Doc:  "//nic:hashstable structs keep their always-encoding field surface pinned",
+	Run:  runHashlint,
+}
+
+// hashPin records one //nic:hashstable annotation.
+type hashPin struct {
+	sig string    // pinned signature; "" when not yet pinned
+	pos token.Pos // the type declaration, for diagnostics
+}
+
+func runHashlint(pass *Pass) error {
+	for obj, pin := range pass.Prog.hashPins {
+		if obj.Pkg() != pass.Pkg.Types {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(pin.pos, "%s: //nic:hashstable applies only to struct types", obj.Name())
+			continue
+		}
+		sig := encodingSignature(pass, obj, st)
+		switch {
+		case pin.sig == "":
+			pass.Reportf(pin.pos, "%s: //nic:hashstable needs a pinned signature; current always-encoding surface is %s", obj.Name(), sig)
+		case pin.sig != sig:
+			pass.Reportf(pin.pos, "%s: always-encoding fields changed (pinned %s, computed %s); new fields must carry ,omitempty so committed hashes stay stable — re-pin only for a deliberate hash break", obj.Name(), pin.sig, sig)
+		}
+	}
+	checkHashMethodMapRanges(pass)
+	return nil
+}
+
+// encodingSignature hashes the struct's always-encoding surface and flags
+// ineffective ,omitempty tags along the way.
+func encodingSignature(pass *Pass, obj types.Object, st *types.Struct) string {
+	qual := types.RelativeTo(pass.Pkg.Types)
+	var surface []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // encoding/json skips unexported fields
+		}
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		if tag == "-" {
+			continue
+		}
+		name, opts, _ := strings.Cut(tag, ",")
+		if name == "" {
+			name = f.Name()
+		}
+		if strings.Contains(","+opts+",", ",omitempty,") {
+			if alwaysEncodes(f.Type()) {
+				pass.Reportf(f.Pos(), "%s.%s: ,omitempty has no effect on this kind (structs and non-empty arrays always encode), so the field still changes every committed hash; wrap it in a pointer or slice", obj.Name(), f.Name())
+			} else {
+				continue // genuinely optional: not part of the stable surface
+			}
+		}
+		surface = append(surface, name+"\x00"+types.TypeString(f.Type(), qual))
+	}
+	sum := sha256.Sum256([]byte(strings.Join(surface, "\n")))
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// alwaysEncodes reports whether ,omitempty cannot suppress a field of this
+// type: encoding/json's emptiness test never succeeds for struct kinds or
+// arrays with at least one element.
+func alwaysEncodes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		return true
+	case *types.Array:
+		return u.Len() > 0
+	}
+	return false
+}
+
+// checkHashMethodMapRanges flags map iteration inside methods of
+// hash-stable types: their rendered/encoded output must not depend on map
+// order.
+func checkHashMethodMapRanges(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			recv := recvTypeObj(pass, fd)
+			if recv == nil || pass.Prog.hashPins[recv] == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				if pass.LineHas(rs.Pos(), "unordered") {
+					return true
+				}
+				pass.Reportf(rs.Pos(), "map iteration in method %s of hash-stable type %s; map order must not reach an encoder (//nic:unordered if provably unordered)", fd.Name.Name, recv.Name())
+				return true
+			})
+		}
+	}
+}
+
+// recvTypeObj resolves a method's receiver to its named-type object.
+func recvTypeObj(pass *Pass, fd *ast.FuncDecl) types.Object {
+	fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}

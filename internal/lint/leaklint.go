@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Leaklint catches the three goroutine-hygiene bugs that -race cannot:
+//
+//   - a `go` statement whose body (function literal, or a same-package
+//     function resolved one level deep) runs an unbounded `for` loop with no
+//     stop path — no channel receive (including range-over-channel and
+//     select receive cases) and no context.Context value in the loop;
+//   - time.After inside a loop (a timer per iteration, reclaimed only when
+//     it fires) and time.Tick anywhere (its ticker can never be stopped);
+//   - channel sends in shutdown paths (methods or functions named Close,
+//     Stop, or Shutdown) outside a select with an alternative case or
+//     default — an unpaired receiver blocks shutdown forever.
+//
+// //nic:leakok on the offending line waives a finding the analyzer cannot
+// prove safe (e.g. a send on a provably buffered channel).
+var Leaklint = &Analyzer{
+	Name: "leaklint",
+	Doc:  "goroutines need a stop path; loop timers and shutdown sends must not leak or block",
+	Run:  runLeaklint,
+}
+
+func runLeaklint(pass *Pass) error {
+	// Index same-package bodies so `go c.loop()` resolves one level deep.
+	bodies := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, fd.Body, bodies)
+			checkTimerCalls(pass, fd.Body)
+			if name := fd.Name.Name; name == "Close" || name == "Stop" || name == "Shutdown" {
+				checkShutdownSends(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGoStmts flags goroutines that spin forever with no way to stop them.
+func checkGoStmts(pass *Pass, body *ast.BlockStmt, bodies map[*types.Func]*ast.FuncDecl) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var spawned *ast.BlockStmt
+		if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			spawned = fl.Body
+		} else if fn := pass.CalleeFunc(gs.Call); fn != nil {
+			if callee := bodies[fn]; callee != nil {
+				spawned = callee.Body
+			}
+		}
+		if spawned == nil || pass.LineHas(gs.Pos(), "leakok") {
+			return true
+		}
+		reported := false
+		ast.Inspect(spawned, func(n ast.Node) bool {
+			fs, ok := n.(*ast.ForStmt)
+			if !ok || fs.Cond != nil || reported {
+				return !reported
+			}
+			if !hasStopSignal(pass, fs.Body) {
+				reported = true
+				pass.Reportf(gs.Pos(), "goroutine runs an unbounded for loop with no stop path (no channel receive, no context); give it a done channel or a context, or annotate //nic:leakok")
+			}
+			return !reported
+		})
+		return true
+	})
+}
+
+// hasStopSignal reports whether a loop body contains any cancellation
+// surface: a channel receive (unary <-, select receive case, or
+// range-over-channel) or a reference to a context.Context value.
+func hasStopSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if isContextValue(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextValue reports whether the identifier names a context.Context
+// value.
+func isContextValue(pass *Pass, id *ast.Ident) bool {
+	v, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	named, ok := v.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkTimerCalls flags time.After inside loops and time.Tick anywhere.
+func checkTimerCalls(pass *Pass, body *ast.BlockStmt) {
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		}
+		return true
+	})
+	inLoop := func(p token.Pos) bool {
+		for _, s := range loops {
+			if p >= s.lo && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := pass.calleeIsPkgFunc(call, "time")
+		if !ok || pass.LineHas(call.Pos(), "leakok") {
+			return true
+		}
+		switch {
+		case name == "Tick":
+			pass.Reportf(call.Pos(), "time.Tick leaks its ticker; use time.NewTicker and defer Stop (//nic:leakok to waive)")
+		case name == "After" && inLoop(call.Pos()):
+			pass.Reportf(call.Pos(), "time.After in a loop allocates a timer every iteration, reclaimed only when it fires; hoist a time.NewTimer and reset it (//nic:leakok to waive)")
+		}
+		return true
+	})
+}
+
+// checkShutdownSends flags channel sends in Close/Stop/Shutdown bodies that
+// sit outside any select offering an alternative (a second case or a
+// default) — with no paired receiver, shutdown deadlocks.
+func checkShutdownSends(pass *Pass, fd *ast.FuncDecl) {
+	type span struct{ lo, hi token.Pos }
+	var safe []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if len(sel.Body.List) >= 2 || hasDefault {
+			safe = append(safe, span{sel.Pos(), sel.End()})
+		}
+		return true
+	})
+	inSafe := func(p token.Pos) bool {
+		for _, s := range safe {
+			if p >= s.lo && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // a spawned goroutine's sends don't block shutdown
+		}
+		ss, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if inSafe(ss.Pos()) || pass.LineHas(ss.Pos(), "leakok") {
+			return true
+		}
+		pass.Reportf(ss.Pos(), "unconditional channel send in shutdown path %s can block forever; close the channel, or select with a stop case or default (//nic:leakok to waive)", fd.Name.Name)
+		return true
+	})
+}

@@ -21,6 +21,19 @@
 //     unit types (//nic:unit) and multiplication of two unit quantities.
 //   - exhaustive: switches over enum types annotated //nic:exhaustive must
 //     cover every declared constant.
+//   - guardlint: every read/write of a //nic:guardedby-annotated struct
+//     field or package variable must happen with the named mutex held,
+//     tracked through Lock/Unlock/defer Unlock/RLock flow inside each
+//     function (writes under RLock are flagged; //nic:locked names helper
+//     preconditions, //nic:unguarded waives constructor/test sites).
+//   - leaklint: goroutines must have a stop path (a channel receive or a
+//     context value in their loop), time.After must not run inside loops
+//     (time.Tick not at all), and shutdown paths (Close/Stop/Shutdown)
+//     must not contain channel sends that can block forever.
+//   - hashlint: structs feeding committed spec/report hashes carry
+//     //nic:hashstable <sig> pinning their always-encoding field surface —
+//     new fields must be ,omitempty or the signature (and every committed
+//     hash) changes — and their methods must not range over maps.
 //
 // # Annotation vocabulary
 //
@@ -38,6 +51,16 @@
 //   - //nic:unitconv      (line) sanctioned cross-unit conversion (a rate
 //     helper applying an explicit period or scale)
 //   - //nic:nonexhaustive (line) switch intentionally handles a subset
+//   - //nic:guardedby <mu> (field/var doc or trailing comment) accesses
+//     require the named mutex — a sibling field or package-level variable
+//   - //nic:locked <mu>   (func doc) callers must already hold the mutex
+//     (the *Locked helper convention); the body is checked as if held
+//   - //nic:hashstable <sig> (type doc) struct feeds committed hashes; sig
+//     pins the always-encoding field surface (hashlint prints it when empty)
+//   - //nic:unguarded     (line) sanctioned unlocked access (constructors,
+//     single-threaded setup, test plumbing)
+//   - //nic:leakok        (line) sanctioned goroutine/timer/shutdown-send
+//     pattern that leaklint cannot prove safe
 package lint
 
 import (
@@ -47,6 +70,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one static check.
@@ -61,7 +85,7 @@ type Analyzer struct {
 
 // All returns the full niclint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Detlint, Hotpath, Unitlint, Exhaustive}
+	return []*Analyzer{Detlint, Hotpath, Unitlint, Exhaustive, Guardlint, Leaklint, Hashlint}
 }
 
 // A Diagnostic is one finding.
@@ -149,16 +173,44 @@ func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
 	return ok
 }
 
+// AnalyzerTiming is one analyzer's cumulative wall time across every
+// package of a Run.
+type AnalyzerTiming struct {
+	Analyzer string        `json:"analyzer"`
+	Wall     time.Duration `json:"-"`
+	WallMs   float64       `json:"wall_ms"`
+}
+
 // Run executes the analyzers over the packages and returns the findings
 // sorted by file, line, column, then analyzer.
 func (prog *Program) Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := prog.RunTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer wall time, in the analyzers' given
+// order. The lint package is outside the determinism contract (detlint
+// skips it), so reading the wall clock here is sanctioned.
+func (prog *Program) RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
 	var diags []Diagnostic
+	wall := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Fset: prog.Fset, diags: &diags}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			start := time.Now()
+			err := a.Run(pass)
+			wall[i] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = AnalyzerTiming{
+			Analyzer: a.Name,
+			Wall:     wall[i],
+			WallMs:   float64(wall[i].Microseconds()) / 1e3,
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -174,7 +226,7 @@ func (prog *Program) Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, timings, nil
 }
 
 // funcDocHas reports whether a function declaration's doc comment carries the
@@ -198,7 +250,8 @@ func commentGroupHas(g *ast.CommentGroup, directive string) bool {
 
 // parseDirective extracts a //nic: directive name and its arguments from one
 // comment's text, accepting both the machine form "//nic:hotpath" and the
-// spaced form "// nic:hotpath".
+// spaced form "// nic:hotpath". Malformed directives (empty or ill-formed
+// names) are rejected outright rather than registered under a garbage key.
 func parseDirective(text string) (name, args string) {
 	s := strings.TrimPrefix(text, "//")
 	s = strings.TrimSpace(s)
@@ -207,5 +260,23 @@ func parseDirective(text string) (name, args string) {
 	}
 	s = strings.TrimPrefix(s, "nic:")
 	name, args, _ = strings.Cut(s, " ")
-	return strings.TrimSpace(name), strings.TrimSpace(args)
+	name, args = strings.TrimSpace(name), strings.TrimSpace(args)
+	if !validDirectiveName(name) {
+		return "", ""
+	}
+	return name, args
+}
+
+// validDirectiveName reports whether name is a well-formed directive name: a
+// letter followed by letters, digits, underscores, or dashes.
+func validDirectiveName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case i > 0 && (r >= '0' && r <= '9' || r == '_' || r == '-'):
+		default:
+			return false
+		}
+	}
+	return name != ""
 }

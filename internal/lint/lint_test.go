@@ -29,6 +29,46 @@ func TestExhaustiveFixtures(t *testing.T) {
 	linttest.Run(t, fixtures, lint.Exhaustive, "fixture/exhaustive")
 }
 
+func TestGuardlintFixtures(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Guardlint, "fixture/guardlint")
+}
+
+// TestGuardlintEdgeCases covers defer-after-early-return, RWMutex read
+// paths, and nested independent locks.
+func TestGuardlintEdgeCases(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Guardlint, "fixture/guardlint/edge")
+}
+
+func TestLeaklintFixtures(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Leaklint, "fixture/leaklint")
+}
+
+func TestHashlintFixtures(t *testing.T) {
+	linttest.Run(t, fixtures, lint.Hashlint, "fixture/hashlint")
+}
+
+// TestFleetCleanUnderConcurrencyAnalyzers pins the most concurrent packages
+// — the fleet fabric, the sweep store/runner, and the sweepd daemon — clean
+// under the three concurrency-contract analyzers even in -short mode, where
+// the whole-tree check is skipped.
+func TestFleetCleanUnderConcurrencyAnalyzers(t *testing.T) {
+	prog, err := lint.NewProgram(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := prog.LoadPatterns([]string{"../fleet", "../sweep", "../../cmd/sweepd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run(pkgs, []*lint.Analyzer{lint.Guardlint, lint.Leaklint, lint.Hashlint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
 // TestTreeClean runs the full suite over the repository and requires zero
 // findings, mirroring CI's niclint step.
 func TestTreeClean(t *testing.T) {

@@ -24,7 +24,7 @@ import (
 
 var (
 	progMu    sync.Mutex
-	progCache = map[string]*lint.Program{}
+	progCache = map[string]*lint.Program{} //nic:guardedby progMu
 )
 
 // program returns a shared Program for the fixture module rooted at dir, so

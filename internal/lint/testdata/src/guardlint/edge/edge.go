@@ -1,0 +1,106 @@
+// Package edge exercises guardlint corner cases: defer mu.Unlock() after an
+// early return, RWMutex read paths, and nested independent locks.
+package edge
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	//nic:guardedby mu
+	val int
+}
+
+// earlyReturn unlocks explicitly on the early path and defers on the main
+// path; both exits hold the lock around val.
+func (b *box) earlyReturn(skip bool) int {
+	b.mu.Lock()
+	if skip {
+		b.mu.Unlock()
+		return 0
+	}
+	defer b.mu.Unlock()
+	return b.val
+}
+
+// maybeUnlocked merges a locked path with an unlocked one: not provably held.
+func (b *box) maybeUnlocked(flip bool) int {
+	b.mu.Lock()
+	if flip {
+		b.mu.Unlock()
+	}
+	return b.val // want `guarded field b\.val read without holding mu`
+}
+
+// loopReacquire releases and re-takes the lock every iteration; both the
+// zero-iteration and the post-body path leave it held.
+func (b *box) loopReacquire(n int) int {
+	b.mu.Lock()
+	for i := 0; i < n; i++ {
+		b.val++
+		b.mu.Unlock()
+		b.mu.Lock()
+	}
+	defer b.mu.Unlock()
+	return b.val
+}
+
+type cache struct {
+	rw sync.RWMutex
+	//nic:guardedby rw
+	entries map[string]string
+}
+
+func (c *cache) get(k string) string {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.entries[k]
+}
+
+func (c *cache) put(k, v string) {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.entries[k] = v
+}
+
+func (c *cache) badPut(k, v string) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.entries[k] = v // want `guarded field c\.entries written while rw is held only for reading`
+}
+
+// upgrade drops the read lock before taking the write lock — the sanctioned
+// read-mostly pattern.
+func (c *cache) upgrade(k, v string) {
+	c.rw.RLock()
+	_, ok := c.entries[k]
+	c.rw.RUnlock()
+	if ok {
+		return
+	}
+	c.rw.Lock()
+	c.entries[k] = v
+	c.rw.Unlock()
+}
+
+type pair struct {
+	muA sync.Mutex
+	//nic:guardedby muA
+	a int
+
+	muB sync.Mutex
+	//nic:guardedby muB
+	b int
+}
+
+// nested takes both locks; releasing the inner one must not release the
+// outer.
+func (p *pair) nested() {
+	p.muA.Lock()
+	p.muB.Lock()
+	p.a++
+	p.b++
+	p.muB.Unlock()
+	p.a++
+	p.b++ // want `guarded field p\.b written without holding muB`
+	p.muA.Unlock()
+}

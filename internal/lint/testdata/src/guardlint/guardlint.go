@@ -1,0 +1,98 @@
+// Package guardlint is a fixture exercising the guarded-field analyzer:
+// annotated fields must only be touched with their mutex held.
+package guardlint
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//nic:guardedby mu
+	n int
+	//nic:guardedby mu
+	m map[string]int
+}
+
+func newCounter() *counter {
+	return &counter{m: map[string]int{}} // composite-literal init is exempt
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) deferRead() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) badWrite() {
+	c.n++ // want `guarded field c\.n written without holding mu`
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `guarded field c\.n read without holding mu`
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want `guarded field c\.n read without holding mu`
+}
+
+func (c *counter) mapOps(k string) {
+	c.mu.Lock()
+	c.m[k]++
+	delete(c.m, k)
+	c.mu.Unlock()
+	delete(c.m, k) // want `guarded field c\.m written without holding mu`
+}
+
+func (c *counter) sanctioned() int {
+	return c.n //nic:unguarded fixture: single-threaded test plumbing
+}
+
+func (c *counter) goroutineLosesLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `guarded field c\.n written without holding mu`
+	}()
+}
+
+// bumpLocked is a helper in the *Locked convention: the caller locks.
+//
+//nic:locked mu
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (c *counter) callsHelper() {
+	c.bumpLocked() // want `call to bumpLocked requires holding mu`
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+var regMu sync.Mutex
+
+//nic:guardedby regMu
+var registry = map[string]int{}
+
+func lookup(k string) int {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[k]
+}
+
+func badLookup(k string) int {
+	return registry[k] // want `guarded field registry read without holding regMu`
+}
+
+type orphan struct {
+	//nic:guardedby nosuch
+	x int // want `no mutex named "nosuch"`
+}

@@ -1,0 +1,72 @@
+// Package hashlint is a fixture exercising the hash-stability analyzer:
+// pinned always-encoding surfaces, ineffective ,omitempty, and map ranges in
+// methods of hash-stable types.
+package hashlint
+
+// Config's surface is pinned; optional fields ride behind ,omitempty and
+// unexported or json:"-" fields never encode.
+//
+//nic:hashstable 9dc2810c76d8
+type Config struct {
+	Cores  int    `json:"cores"`
+	Name   string `json:"name"`
+	Extra  int    `json:"extra,omitempty"`
+	hidden int
+	Skip   int `json:"-"`
+}
+
+// Unpinned is annotated but not yet pinned.
+//
+//nic:hashstable
+type Unpinned struct { // want `needs a pinned signature`
+	A int `json:"a"`
+}
+
+// Stale pins yesterday's surface.
+//
+//nic:hashstable deadbeefcafe
+type Stale struct { // want `always-encoding fields changed`
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+type Inner struct {
+	N int `json:"n"`
+}
+
+// Outer demonstrates the ineffective-,omitempty rule: struct and non-empty
+// array kinds always encode.
+//
+//nic:hashstable ebe9e8bcc2a6
+type Outer struct {
+	Inner Inner  `json:"inner,omitempty"` // want `,omitempty has no effect`
+	Arr   [4]int `json:"arr,omitempty"`   // want `,omitempty has no effect`
+	OK    *Inner `json:"ok,omitempty"`
+}
+
+//nic:hashstable 1234567890ab
+type NotAStruct int // want `applies only to struct types`
+
+// Rendered excludes its map from encoding but still must not leak map order
+// through its methods.
+//
+//nic:hashstable e3b0c44298fc
+type Rendered struct {
+	M map[string]int `json:"-"`
+}
+
+func (r Rendered) String() string {
+	out := ""
+	for k := range r.M { // want `map iteration in method String of hash-stable type Rendered`
+		out += k
+	}
+	return out
+}
+
+func (r Rendered) Keys() []string {
+	var keys []string
+	for k := range r.M { //nic:unordered fixture: callers sort
+		keys = append(keys, k)
+	}
+	return keys
+}

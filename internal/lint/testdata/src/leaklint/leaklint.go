@@ -1,0 +1,103 @@
+// Package leaklint is a fixture exercising the goroutine-leak analyzer:
+// spawned loops need a stop path, loop timers must be hoisted, and shutdown
+// paths must not block on sends.
+package leaklint
+
+import (
+	"context"
+	"time"
+)
+
+type pump struct {
+	in   chan int
+	done chan struct{}
+	out  chan int
+}
+
+func (p *pump) spinForever() {
+	go func() { // want `goroutine runs an unbounded for loop with no stop path`
+		for {
+			work()
+		}
+	}()
+}
+
+func (p *pump) stoppable() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case v := <-p.in:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (p *pump) contextBound(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+func (p *pump) drains() {
+	go func() {
+		for v := range p.in {
+			_ = v
+		}
+	}()
+}
+
+// loop is resolved one level deep through the same package.
+func (p *pump) loop() {
+	for {
+		work()
+	}
+}
+
+func (p *pump) spawnNamed() {
+	go p.loop() // want `goroutine runs an unbounded for loop with no stop path`
+}
+
+func (p *pump) waived() {
+	go p.loop() //nic:leakok fixture: lives for the process lifetime by design
+}
+
+func pollAfter(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second): // want `time\.After in a loop`
+			work()
+		}
+	}
+}
+
+func afterOnce() {
+	<-time.After(time.Second) // outside a loop: one timer, fine
+}
+
+func tick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time\.Tick leaks its ticker`
+}
+
+func (p *pump) Close() {
+	p.out <- 0 // want `unconditional channel send in shutdown path Close`
+}
+
+func (p *pump) Stop() {
+	select {
+	case p.out <- 0:
+	default:
+	}
+	close(p.done)
+}
+
+func work() {}

@@ -61,7 +61,11 @@ type Transfer struct {
 	queuedAt uint64
 }
 
-// SDRAMConfig parameterizes the memory device.
+// SDRAMConfig parameterizes the memory device. It serializes inside
+// core.Config (and so inside every spec hash); new knobs must be tagged
+// ,omitempty with a zero default.
+//
+//nic:hashstable d83b7eb9ed1d
 type SDRAMConfig struct {
 	Ports      int // number of requesters (the four assists)
 	RowBytes   int // bytes per row (page) per bank

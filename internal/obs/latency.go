@@ -113,6 +113,8 @@ func (t *dirTracker) reset() {
 
 // StageLatency is one per-stage residency row: the time frames spent between
 // two adjacent lifecycle stages.
+//
+//nic:hashstable 021c5c545f18
 type StageLatency struct {
 	Name   string  `json:"name"` // "from->to"
 	Frames uint64  `json:"frames"`
@@ -122,6 +124,8 @@ type StageLatency struct {
 
 // DirLatency is one direction's frame-latency summary: end-to-end quantiles
 // plus the per-stage residency breakdown.
+//
+//nic:hashstable 4abf0defc451
 type DirLatency struct {
 	Frames uint64         `json:"frames"`
 	P50Us  float64        `json:"p50_us"`
@@ -133,6 +137,8 @@ type DirLatency struct {
 
 // QueueLatency is one receive queue's latency and occupancy summary,
 // present only on multi-queue builds (EnableRecvQueues).
+//
+//nic:hashstable af3731ddd7c8
 type QueueLatency struct {
 	Queue  int     `json:"queue"`
 	Frames uint64  `json:"frames"`
@@ -150,6 +156,8 @@ type QueueLatency struct {
 // LatencyReport is the Latency section of a core report. RecvQueues is
 // omitted on single-ring builds, keeping their reports byte-identical to
 // pre-RSS ones.
+//
+//nic:hashstable ac32f89ac99c
 type LatencyReport struct {
 	Send DirLatency `json:"send"`
 	Recv DirLatency `json:"recv"`

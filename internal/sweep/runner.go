@@ -65,8 +65,8 @@ type Runner struct {
 	OnResult func(Result)
 
 	mu    sync.Mutex
-	memo  map[string]Result // in-process cache of successes, by hash
-	stats RunnerStats
+	memo  map[string]Result //nic:guardedby mu — in-process cache of successes, by hash
+	stats RunnerStats       //nic:guardedby mu
 }
 
 // Stats returns a snapshot of the runner's counters. Updates are

@@ -21,8 +21,8 @@ import (
 type Store struct {
 	mu     sync.Mutex
 	path   string
-	f      *os.File
-	byHash map[string]Result
+	f      *os.File          //nic:guardedby mu — nilled by Close
+	byHash map[string]Result //nic:guardedby mu
 }
 
 // StoreFileName is the result file created inside a sweep output directory.
@@ -49,7 +49,7 @@ func OpenStore(path string) (*Store, error) {
 			if err := json.Unmarshal(line, &r); err != nil || r.Hash == "" {
 				continue // torn or foreign line
 			}
-			if _, dup := s.byHash[r.Hash]; r.OK() && !dup {
+			if _, dup := s.byHash[r.Hash]; r.OK() && !dup { //nic:unguarded constructor: s not yet shared
 				s.byHash[r.Hash] = r
 			}
 		}
@@ -58,7 +58,7 @@ func OpenStore(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: open store: %w", err)
 	}
-	s.f = f
+	s.f = f //nic:unguarded constructor: s not yet shared
 	return s, nil
 }
 
@@ -163,6 +163,8 @@ func (s *Store) PutBatch(rs []Result) error {
 
 // unindex rolls back index entries whose bytes never reached the file, so a
 // failed batch can be retried. Callers hold s.mu.
+//
+//nic:locked mu
 func (s *Store) unindex(hashes []string) {
 	for _, h := range hashes {
 		delete(s.byHash, h)

@@ -39,6 +39,8 @@ const (
 // to reconstruct the simulation is in the spec, so its content hash
 // identifies the result. Zero-valued fields mean "the default operating
 // point" for that knob.
+//
+//nic:hashstable f53da55742db
 type Spec struct {
 	Kind string `json:"kind"`
 

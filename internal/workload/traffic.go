@@ -61,6 +61,8 @@ var (
 // TrafficSpec selects one adversarial traffic class and arrival process. It
 // is pure data and embeds into sweep.Spec, so a hostile workload is a
 // content-hashed, sweepable axis exactly like a fault plan.
+//
+//nic:hashstable 836f56cb976d
 type TrafficSpec struct {
 	Class   string `json:"class"`
 	Arrival string `json:"arrival,omitempty"` // empty = saturate
